@@ -1,0 +1,228 @@
+// Package repro's root benchmarks regenerate every table and figure of
+// the paper's evaluation (Section 4.4) as testing.B benchmarks:
+//
+//   - BenchmarkTable1Generate — producing the benchmark programs of Table 1;
+//   - BenchmarkTable2Compile  — the "Compile time" column (parsing);
+//   - BenchmarkTable2Mono     — the "Mono time" column;
+//   - BenchmarkTable2Poly     — the "Poly time" column;
+//   - BenchmarkFigure6        — the full pipeline behind Figure 6;
+//
+// plus ablations for the design choices DESIGN.md calls out:
+//
+//   - BenchmarkAblationPolyFull      — polymorphic inference without
+//     scheme simplification (whole-SCC constraint replay);
+//   - BenchmarkAblationPolyRec       — polymorphic recursion;
+//   - BenchmarkAblationLambdaPoly    — mono vs poly on the example
+//     language (generated programs);
+//   - BenchmarkSolverScaling         — the atomic-subtyping solver alone.
+//
+// Run with: go test -bench=. -benchmem
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/benchgen"
+	"repro/internal/cfront"
+	"repro/internal/constinfer"
+	"repro/internal/constraint"
+	"repro/internal/core"
+	"repro/internal/experiment"
+	"repro/internal/lambda"
+	"repro/internal/progen"
+	"repro/internal/qual"
+)
+
+// suite caches generated sources and parsed files across benchmarks.
+type suiteEntry struct {
+	cfg  benchgen.Config
+	src  string
+	file *cfront.File
+}
+
+var suiteCache []suiteEntry
+
+func suite(b *testing.B) []suiteEntry {
+	b.Helper()
+	if suiteCache != nil {
+		return suiteCache
+	}
+	for _, cfg := range benchgen.PaperSuite() {
+		src := benchgen.Generate(cfg)
+		f, err := cfront.Parse(cfg.Name+".c", src)
+		if err != nil {
+			b.Fatalf("%s: %v", cfg.Name, err)
+		}
+		suiteCache = append(suiteCache, suiteEntry{cfg: cfg, src: src, file: f})
+	}
+	return suiteCache
+}
+
+func BenchmarkTable1Generate(b *testing.B) {
+	for _, cfg := range benchgen.PaperSuite() {
+		cfg := cfg
+		b.Run(cfg.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				src := benchgen.Generate(cfg)
+				if len(src) == 0 {
+					b.Fatal("empty program")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkTable2Compile(b *testing.B) {
+	for _, e := range suite(b) {
+		e := e
+		b.Run(e.cfg.Name, func(b *testing.B) {
+			b.SetBytes(int64(len(e.src)))
+			for i := 0; i < b.N; i++ {
+				if _, err := cfront.Parse(e.cfg.Name+".c", e.src); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkTable2Mono(b *testing.B) {
+	for _, e := range suite(b) {
+		e := e
+		b.Run(e.cfg.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rep, err := constinfer.Analyze([]*cfront.File{e.file}, constinfer.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(rep.Conflicts) > 0 {
+					b.Fatal("conflicts")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkTable2Poly(b *testing.B) {
+	for _, e := range suite(b) {
+		e := e
+		b.Run(e.cfg.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rep, err := constinfer.Analyze([]*cfront.File{e.file},
+					constinfer.Options{Poly: true, Simplify: true})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(rep.Conflicts) > 0 {
+					b.Fatal("conflicts")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFigure6 runs the complete experiment pipeline (generate, parse,
+// mono, poly, render) for the two smallest benchmarks, the unit of work
+// behind one bar of Figure 6.
+func BenchmarkFigure6(b *testing.B) {
+	cfgs := benchgen.PaperSuite()[:2]
+	for i := 0; i < b.N; i++ {
+		var results []*experiment.Result
+		for _, cfg := range cfgs {
+			r, err := experiment.Run(cfg, constinfer.Options{Simplify: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			results = append(results, r)
+		}
+		if out := experiment.Figure6(results); len(out) == 0 {
+			b.Fatal("empty figure")
+		}
+	}
+}
+
+// BenchmarkAblationPolyFull measures polymorphic inference without the
+// Section 6 scheme simplification: schemes replay their whole SCC
+// fragment at every instantiation.
+func BenchmarkAblationPolyFull(b *testing.B) {
+	for _, e := range suite(b)[:4] { // the larger two take seconds per op
+		e := e
+		b.Run(e.cfg.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := constinfer.Analyze([]*cfront.File{e.file},
+					constinfer.Options{Poly: true}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationPolyRec measures the polymorphic-recursion extension.
+func BenchmarkAblationPolyRec(b *testing.B) {
+	for _, e := range suite(b)[:4] {
+		e := e
+		b.Run(e.cfg.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := constinfer.Analyze([]*cfront.File{e.file},
+					constinfer.Options{Poly: true, PolyRec: true, Simplify: true}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationLambdaPoly compares monomorphic and polymorphic
+// qualifier inference on generated programs of the example language.
+func BenchmarkAblationLambdaPoly(b *testing.B) {
+	spec := core.ConstSpec()
+	g := progen.New(2024, progen.Config{MaxDepth: 8, Annotate: []string{"const"}})
+	progs := make([]lambda.Expr, 40)
+	for i := range progs {
+		progs[i] = g.Program()
+	}
+	for _, mono := range []bool{false, true} {
+		name := "poly"
+		if mono {
+			name = "mono"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, p := range progs {
+					c := spec.NewChecker()
+					c.Monomorphic = mono
+					if _, err := c.Check(nil, p); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSolverScaling measures the atomic-subtyping solver on chains
+// with constant seeds, the core [HR97] operation.
+func BenchmarkSolverScaling(b *testing.B) {
+	set := qual.MustSet(qual.Qualifier{Name: "const", Sign: qual.Positive})
+	for _, size := range []int{1000, 10000, 100000} {
+		b.Run(fmt.Sprintf("n=%d", size), func(b *testing.B) {
+			sys := constraint.NewSystem(set)
+			vars := make([]constraint.Var, size)
+			for i := range vars {
+				vars[i] = sys.Fresh()
+			}
+			sys.Add(constraint.C(set.MustElem("const")), constraint.V(vars[0]), constraint.Reason{})
+			for i := 1; i < size; i++ {
+				sys.Add(constraint.V(vars[i-1]), constraint.V(vars[i]), constraint.Reason{})
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if errs := sys.Solve(); errs != nil {
+					b.Fatal("unsat")
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,47 @@
+// Command benchgen writes the synthetic benchmark suite of the Section
+// 4.4 experiment to disk as C files (substitutes for the paper's GNU
+// packages; see internal/benchgen for what is preserved).
+//
+// Usage:
+//
+//	benchgen [-out dir] [-only name]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/benchgen"
+)
+
+func main() {
+	out := flag.String("out", "benchmarks", "output directory")
+	only := flag.String("only", "", "generate a single benchmark by name")
+	flag.Parse()
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgen:", err)
+		os.Exit(1)
+	}
+	written := 0
+	for _, cfg := range benchgen.PaperSuite() {
+		if *only != "" && cfg.Name != *only {
+			continue
+		}
+		src := benchgen.Generate(cfg)
+		path := filepath.Join(*out, cfg.Name+".c")
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchgen:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: %d lines\n", path, strings.Count(src, "\n"))
+		written++
+	}
+	if written == 0 {
+		fmt.Fprintf(os.Stderr, "benchgen: no benchmark named %q\n", *only)
+		os.Exit(1)
+	}
+}

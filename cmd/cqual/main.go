@@ -1,0 +1,161 @@
+// Command cqual runs the const-inference system of Section 4 of "A
+// Theory of Type Qualifiers" (PLDI 1999) over one or more C files
+// analyzed as a single program.
+//
+// Usage:
+//
+//	cqual [-poly] [-polyrec] [-simplify] [-v] file.c ...
+//
+// For every "interesting" position (each pointer level of the parameters
+// and results of defined functions) cqual reports whether it must be
+// const, must not be const, or could be either; positions in the last two
+// classes that are not yet declared const are the consts the programmer
+// could add. Qualifier conflicts (writes through declared-const
+// references) are reported with their flow path and make the exit status
+// nonzero.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/cfront"
+	"repro/internal/constinfer"
+	"repro/internal/initcheck"
+)
+
+func main() {
+	poly := flag.Bool("poly", false, "polymorphic qualifier inference (Section 4.3)")
+	polyrec := flag.Bool("polyrec", false, "polymorphic recursion (implies -poly)")
+	simplify := flag.Bool("simplify", false, "simplify schemes (with -poly)")
+	verbose := flag.Bool("v", false, "list every position, not just the summary")
+	suggest := flag.Bool("suggest", false, "print re-declared signatures with inferred consts inserted")
+	schemes := flag.Bool("schemes", false, "print inferred polymorphic qualifier schemes (with -poly)")
+	uninit := flag.Bool("uninit", false, "also run the flow-sensitive definite-initialization check (Section 6 extension)")
+	flag.Parse()
+
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: cqual [-poly] [-polyrec] [-simplify] [-v] file.c ...")
+		os.Exit(2)
+	}
+
+	var files []*cfront.File
+	for _, path := range flag.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cqual:", err)
+			os.Exit(2)
+		}
+		f, err := cfront.Parse(path, string(data))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cqual:", err)
+			os.Exit(2)
+		}
+		files = append(files, f)
+	}
+
+	opts := constinfer.Options{
+		Poly:     *poly || *polyrec,
+		PolyRec:  *polyrec,
+		Simplify: *simplify || *schemes,
+	}
+	analysis := constinfer.NewAnalysis(files, opts)
+	rep, err := analysis.Run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cqual:", err)
+		os.Exit(2)
+	}
+
+	if *verbose {
+		printPositions(rep)
+	}
+	if *suggest {
+		for _, s := range rep.Suggested {
+			fmt.Printf("%s: %s\n    was: %s\n    now: %s\n", s.Pos, s.Func, s.Old, s.New)
+		}
+	}
+	if *schemes {
+		names := make([]string, 0, len(rep.Positions))
+		seen := map[string]bool{}
+		for _, p := range rep.Positions {
+			if !seen[p.Func] {
+				seen[p.Func] = true
+				names = append(names, p.Func)
+			}
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			if s, ok := analysis.SchemeString(name); ok {
+				fmt.Println(s)
+			}
+		}
+	}
+	printSummary(rep, opts)
+
+	if *uninit {
+		warned := 0
+		for _, f := range files {
+			for _, w := range initcheck.CheckFile(f) {
+				fmt.Println(w)
+				warned++
+			}
+		}
+		fmt.Printf("definite-initialization: %d warning(s)\n", warned)
+	}
+
+	if len(rep.Conflicts) > 0 {
+		fmt.Printf("\n%d qualifier conflict(s):\n", len(rep.Conflicts))
+		for _, c := range rep.Conflicts {
+			fmt.Println("  " + c.Error())
+		}
+		os.Exit(1)
+	}
+}
+
+func printPositions(rep *constinfer.Report) {
+	positions := append([]constinfer.PositionResult(nil), rep.Positions...)
+	sort.Slice(positions, func(i, j int) bool {
+		if positions[i].Func != positions[j].Func {
+			return positions[i].Func < positions[j].Func
+		}
+		if positions[i].Index != positions[j].Index {
+			return positions[i].Index < positions[j].Index
+		}
+		return positions[i].Depth < positions[j].Depth
+	})
+	for _, p := range positions {
+		where := "result"
+		if p.Index >= 0 {
+			where = fmt.Sprintf("param %q", p.Param)
+			if p.Param == "" {
+				where = fmt.Sprintf("param #%d", p.Index)
+			}
+		}
+		marker := " "
+		if p.Verdict == constinfer.Either && !p.Declared {
+			marker = "+" // a const the programmer could add
+		}
+		decl := ""
+		if p.Declared {
+			decl = " (declared)"
+		}
+		fmt.Printf("%s %s: %s level %d: %s%s\n", marker, p.Func, where, p.Depth, p.Verdict, decl)
+	}
+}
+
+func printSummary(rep *constinfer.Report, opts constinfer.Options) {
+	mode := "monomorphic"
+	if opts.Poly {
+		mode = "polymorphic"
+		if opts.PolyRec {
+			mode = "polymorphic-recursive"
+		}
+	}
+	addable := rep.Inferred - rep.Declared
+	fmt.Printf("%s const inference: %d functions, %d positions\n", mode, rep.Functions, rep.Total)
+	fmt.Printf("  declared const:   %d\n", rep.Declared)
+	fmt.Printf("  inferrable const: %d (%d more than declared)\n", rep.Inferred, addable)
+	fmt.Printf("  never const:      %d\n", rep.Total-rep.Inferred)
+}

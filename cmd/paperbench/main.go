@@ -1,0 +1,47 @@
+// Command paperbench regenerates the evaluation of Section 4.4 of "A
+// Theory of Type Qualifiers" (PLDI 1999): Table 1 (benchmarks), Table 2
+// (compile/mono/poly times and const counts) and Figure 6 (stacked
+// percentage chart), over the synthetic benchmark suite.
+//
+// Usage:
+//
+//	paperbench [-table1] [-table2] [-figure6] [-simplify] [-polyrec]
+//
+// With no selection flags, everything is printed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/constinfer"
+	"repro/internal/experiment"
+)
+
+func main() {
+	table1 := flag.Bool("table1", false, "print Table 1 only")
+	table2 := flag.Bool("table2", false, "print Table 2 only")
+	figure6 := flag.Bool("figure6", false, "print Figure 6 only")
+	simplify := flag.Bool("simplify", true, "scheme simplification in the polymorphic pass (the Section 6 optimization; disable with -simplify=false)")
+	polyrec := flag.Bool("polyrec", false, "enable polymorphic recursion in the polymorphic pass")
+	flag.Parse()
+
+	opts := constinfer.Options{Simplify: *simplify, PolyRec: *polyrec}
+	results, err := experiment.RunSuite(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paperbench:", err)
+		os.Exit(1)
+	}
+
+	all := !*table1 && !*table2 && !*figure6
+	if all || *table1 {
+		fmt.Println(experiment.Table1(results))
+	}
+	if all || *table2 {
+		fmt.Println(experiment.Table2(results))
+	}
+	if all || *figure6 {
+		fmt.Println(experiment.Figure6(results))
+	}
+}

@@ -1,0 +1,112 @@
+package repro
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCommands smoke-tests every binary end to end via `go run`. These
+// are the integration points users touch first; each invocation checks
+// both exit status and a load-bearing fragment of the output.
+func TestCommands(t *testing.T) {
+	if testing.Short() {
+		t.Skip("command smoke tests in -short mode")
+	}
+	dir := t.TempDir()
+	cFile := filepath.Join(dir, "demo.c")
+	if err := os.WriteFile(cFile, []byte(`
+int mylen(char *s) {
+    int n = 0;
+    while (s[n]) n++;
+    return n;
+}
+void set(char *p) { *p = 0; }
+int partial(int c) {
+    int x;
+    if (c) x = 1;
+    return x;
+}
+`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		args []string
+		want []string
+	}{
+		{"cqual", []string{"run", "./cmd/cqual", "-v", "-suggest", cFile},
+			[]string{"not-const", "int mylen(const char *s)", "inferrable const: 1"}},
+		{"cqual-poly-schemes", []string{"run", "./cmd/cqual", "-poly", "-schemes", cFile},
+			[]string{"∀", "⊑"}},
+		{"cqual-uninit", []string{"run", "./cmd/cqual", "-uninit", cFile},
+			[]string{`variable "x" may be used uninitialized`}},
+		{"qlambda-expr", []string{"run", "./cmd/qlambda", "-spec", "nonzero", "-eval", "-e", "100 / (@nonzero (3 - 1))"},
+			[]string{"type: int", "value: nonzero 50"}},
+		{"qlambda-lattice", []string{"run", "./cmd/qlambda", "-spec", "figure2", "-lattice"},
+			[]string{"rank 3: const dynamic", "rank 0: nonzero"}},
+		{"benchgen", []string{"run", "./cmd/benchgen", "-out", dir, "-only", "woman-3.0a"},
+			[]string{"woman-3.0a.c"}},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			out, err := exec.Command("go", c.args...).CombinedOutput()
+			if err != nil {
+				t.Fatalf("%v failed: %v\n%s", c.args, err, out)
+			}
+			for _, want := range c.want {
+				if !strings.Contains(string(out), want) {
+					t.Errorf("output missing %q:\n%s", want, out)
+				}
+			}
+		})
+	}
+
+	// Verbose-mode marker: "+" flags the consts the programmer can add.
+	out, err := exec.Command("go", "run", "./cmd/cqual", "-v", cFile).CombinedOutput()
+	if err != nil {
+		t.Fatalf("cqual -v: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "+ mylen") {
+		t.Errorf("no addable-const marker:\n%s", out)
+	}
+
+	// Conflicts give exit status 1.
+	bad := filepath.Join(dir, "bad.c")
+	if err := os.WriteFile(bad, []byte("void f(const char *s) { *s = 0; }\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command("go", "run", "./cmd/cqual", bad)
+	outB, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Errorf("cqual on a const violation exited 0:\n%s", outB)
+	}
+	if !strings.Contains(string(outB), "conflict") {
+		t.Errorf("conflict not reported:\n%s", outB)
+	}
+
+	// qlambda rejects qualifier conflicts with exit 1.
+	cmd = exec.Command("go", "run", "./cmd/qlambda", "-spec", "const", "-e", "(@const ref 1) := 2")
+	outB, err = cmd.CombinedOutput()
+	if err == nil {
+		t.Errorf("qlambda on a const violation exited 0:\n%s", outB)
+	}
+
+	// The examples all run to completion.
+	for _, ex := range []string{"quickstart", "constcheck", "taint", "bindingtime", "nonzero", "flowcheck"} {
+		ex := ex
+		t.Run("example-"+ex, func(t *testing.T) {
+			out, err := exec.Command("go", "run", "./examples/"+ex).CombinedOutput()
+			if err != nil {
+				t.Fatalf("example %s failed: %v\n%s", ex, err, out)
+			}
+			if len(out) == 0 {
+				t.Errorf("example %s produced no output", ex)
+			}
+		})
+	}
+}

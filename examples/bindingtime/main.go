@@ -1,0 +1,80 @@
+// Binding-time analysis as a type-qualifier system (Sections 1–2 of the
+// paper): the positive qualifier "dynamic" marks values unknown until run
+// time; static is its absence. Three rules give it meaning: nothing
+// dynamic may appear inside a static value (the well-formedness
+// condition), applying a dynamic function yields a dynamic result, and
+// branching on a dynamic guard yields a dynamic result. A partial
+// evaluator would specialize everything the analysis proves static.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+)
+
+func main() {
+	spec := core.BindingTimeSpec()
+
+	programs := []struct {
+		label string
+		src   string
+	}{
+		{"fully static computation", `
+			let square = fn x => x * x in
+			(square 12) |[^dynamic]
+			ni`},
+		{"dynamic input stays dynamic", `
+			let input = @dynamic 0 in
+			(input + 1) |[^dynamic]
+			ni`},
+		{"static data + dynamic guard", `
+			let input = @dynamic 0 in
+			(if input then 1 else 2 fi) |[^dynamic]
+			ni`},
+		{"dynamic function application", `
+			let f = @dynamic (fn x => x) in
+			(f 1) |[^dynamic]
+			ni`},
+		{"well-formedness: dynamic inside static", `
+			let cell = ref (@dynamic 1) in
+			cell |[^dynamic]
+			ni`},
+		{"static pipeline specializes", `
+			let twice = fn f => fn x => f (f x) in
+			let inc = fn n => n + 1 in
+			(twice inc 5) |[^dynamic]
+			ni ni`},
+	}
+
+	for _, p := range programs {
+		res, err := spec.Check("bt", p.src)
+		if err != nil {
+			log.Fatalf("%s: %v", p.label, err)
+		}
+		if len(res.Conflicts) == 0 {
+			fmt.Printf("STATIC   %-38s : %s\n", p.label, res.Type.FormatSolved(spec.Set, res.Sys))
+		} else {
+			fmt.Printf("DYNAMIC  %-38s\n", p.label)
+		}
+	}
+
+	// The ill-formed type the paper shows: static (dynamic α → dynamic β)
+	// is rejected by the well-formedness rule — a function value holding
+	// dynamic pieces cannot itself be asserted static.
+	res, err := spec.Check("bt", `
+		let f = fn x => @dynamic (x + 1) in
+		f |[^dynamic]
+		ni`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	if len(res.Conflicts) > 0 {
+		fmt.Println("§2 ill-formedness reproduced: a static value may not contain")
+		fmt.Println("anything dynamic —", res.Conflicts[0].Explain(spec.Set))
+	} else {
+		fmt.Println("unexpected: ill-formed type accepted")
+	}
+}

@@ -1,0 +1,124 @@
+// Constcheck is the Section 4 experiment in miniature: it runs const
+// inference over an embedded C program — a small string library in the
+// style of the paper's benchmarks — and prints, for every parameter and
+// result of every function, whether it must be const, must not be const,
+// or could be declared either way, under both monomorphic and polymorphic
+// inference. The flow-through function `skip_ws` shows the polymorphism
+// gain: monomorphically its use by a writer poisons every client.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"repro/internal/constinfer"
+)
+
+const program = `
+typedef unsigned long size_t;
+extern size_t strlen(const char *s);
+extern char *strcpy(char *dst, const char *src);
+
+/* Flow-through: returns a pointer into its argument (the strchr pattern). */
+static char *skip_ws(char *s) {
+    while (*s == ' ' || *s == '\t')
+        s++;
+    return s;
+}
+
+/* Reader: could be const, but the programmer did not say so. */
+static int word_count(char *s) {
+    int n = 0, in = 0;
+    for (; *s; s++) {
+        if (*s == ' ') in = 0;
+        else if (!in) { in = 1; n++; }
+    }
+    return n;
+}
+
+/* Reader with the const already declared. */
+static int checksum(const char *s) {
+    int h = 0;
+    while (*s) h = h * 31 + *s++;
+    return h;
+}
+
+/* Writer: its parameter can never be const. */
+static void upcase(char *s) {
+    for (; *s; s++)
+        if (*s >= 'a' && *s <= 'z')
+            *s = *s - 'a' + 'A';
+}
+
+/* Uses skip_ws for writing... */
+static void trim_mark(char *line) {
+    char *p = skip_ws(line);
+    *p = '#';
+}
+
+/* ...while this one only reads through it. */
+static int first_word_len(char *line) {
+    char *p = skip_ws(line);
+    int n = 0;
+    while (p[n] && p[n] != ' ') n++;
+    return n;
+}
+
+int main(int argc, char **argv) {
+    char buf[128];
+    int total = 0, i;
+    for (i = 1; i < argc; i++) {
+        strcpy(buf, argv[i]);
+        upcase(buf);
+        trim_mark(buf);
+        total += word_count(buf) + checksum(buf) + first_word_len(argv[i]);
+    }
+    return total;
+}
+`
+
+func main() {
+	for _, mode := range []struct {
+		label string
+		opts  constinfer.Options
+	}{
+		{"monomorphic", constinfer.Options{}},
+		{"polymorphic", constinfer.Options{Poly: true}},
+	} {
+		rep, err := constinfer.AnalyzeSource("strlib.c", program, mode.opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(rep.Conflicts) > 0 {
+			log.Fatalf("conflict: %v", rep.Conflicts[0])
+		}
+		fmt.Printf("== %s inference ==\n", mode.label)
+		ps := append([]constinfer.PositionResult(nil), rep.Positions...)
+		sort.Slice(ps, func(i, j int) bool {
+			if ps[i].Func != ps[j].Func {
+				return ps[i].Func < ps[j].Func
+			}
+			return ps[i].Index < ps[j].Index
+		})
+		for _, p := range ps {
+			where := "result"
+			if p.Index >= 0 {
+				where = p.Param
+			}
+			note := ""
+			if p.Declared {
+				note = " (declared)"
+			}
+			if p.Verdict == constinfer.Either && !p.Declared {
+				note = "  ← const could be added"
+			}
+			fmt.Printf("  %-16s %-8s %-11s%s\n", p.Func, where, p.Verdict, note)
+		}
+		fmt.Printf("  declared %d, inferrable %d, total %d\n\n",
+			rep.Declared, rep.Inferred, rep.Total)
+	}
+	fmt.Println("Note how first_word_len and skip_ws flip from not-const to")
+	fmt.Println("either under polymorphic inference: only trim_mark's use of")
+	fmt.Println("skip_ws writes, and instantiation keeps the uses apart.")
+}

@@ -1,0 +1,72 @@
+// Flowcheck demonstrates the flow-sensitive qualifier extension of
+// Section 6 on real C: an lclint-style definite-initialization analysis.
+// Each local variable gets a fresh qualifier variable per program point;
+// definite assignments are strong updates that drop the "uninit"
+// qualifier, branch joins merge points, loops add back-edges — the
+// machinery the paper sketches for making qualifiers vary by program
+// point.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/initcheck"
+)
+
+const program = `
+int sum_upto(int n) {
+    int i;
+    int acc;              /* never initialized on the n<=0 path */
+    for (i = 0; i < n; i++)
+        acc += i;         /* reads acc before any write */
+    return acc;
+}
+
+int safe_sum(int n) {
+    int i, acc = 0;       /* initialized at declaration */
+    for (i = 0; i < n; i++)
+        acc += i;
+    return acc;
+}
+
+int pick(int c) {
+    int x;
+    if (c)
+        x = 1;            /* only one branch initializes */
+    return x;
+}
+
+int pick_fixed(int c) {
+    int x;
+    if (c)
+        x = 1;
+    else
+        x = 2;            /* both branches: definitely initialized */
+    return x;
+}
+
+int via_pointer(void) {
+    int x;
+    int *p = &x;          /* address taken: conservatively unchecked */
+    *p = 5;
+    return x;
+}
+`
+
+func main() {
+	warnings, err := initcheck.CheckSource("demo.c", program)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d warning(s):\n", len(warnings))
+	for _, w := range warnings {
+		fmt.Println("  " + w.String())
+	}
+	fmt.Println()
+	fmt.Println("safe_sum, pick_fixed and via_pointer produce no warnings:")
+	fmt.Println("the same variable is uninit at one program point and")
+	fmt.Println("initialized at another — inexpressible in the paper's")
+	fmt.Println("flow-insensitive system, and exactly what the Section 6")
+	fmt.Println("extension adds.")
+}

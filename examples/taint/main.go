@@ -1,0 +1,67 @@
+// Taint tracking as a type-qualifier system, in the style of the secure
+// information flow systems the paper cites ([VS97]): a positive qualifier
+// "tainted" marks untrusted input; sinks assert its absence. Subsumption
+// does all the propagation — untainted data may flow anywhere, tainted
+// data only to tolerant consumers.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+)
+
+func main() {
+	spec := core.TaintSpec()
+
+	programs := []struct {
+		label string
+		src   string
+	}{
+		{"clean data to a sink", `
+			let exec = fn cmd => cmd |[^tainted] in
+			exec 42
+			ni`},
+		{"tainted data to a sink", `
+			let read_input = fn u => @tainted (u + 0) in
+			let exec = fn cmd => cmd |[^tainted] in
+			exec (read_input 1)
+			ni ni`},
+		{"taint through arithmetic", `
+			let read_input = fn u => @tainted (u + 0) in
+			let exec = fn cmd => cmd |[^tainted] in
+			exec (read_input 1 + 100)
+			ni ni`},
+		{"taint laundered via a ref cell", `
+			let read_input = fn u => @tainted (u + 0) in
+			let exec = fn cmd => cmd |[^tainted] in
+			let cell = ref 0 in
+			cell := read_input 1;
+			exec (!cell)
+			ni ni ni`},
+		{"sanitized before the sink", `
+			let read_input = fn u => @tainted (u + 0) in
+			let sanitize = fn x => if x < 100 then 1 else 0 fi in
+			let exec = fn cmd => cmd |[^tainted] in
+			exec (sanitize (read_input 1))
+			ni ni ni`},
+	}
+
+	for _, p := range programs {
+		res, err := spec.Check("taint", p.src)
+		if err != nil {
+			log.Fatalf("%s: %v", p.label, err)
+		}
+		if len(res.Conflicts) == 0 {
+			fmt.Printf("SAFE     %s\n", p.label)
+		} else {
+			fmt.Printf("TAINTED  %s\n", p.label)
+			fmt.Printf("         %s\n", res.Conflicts[0].Explain(spec.Set))
+		}
+	}
+	fmt.Println("\nNote: the conditional in `sanitize` produces a fresh result,")
+	fmt.Println("so selecting constants launders the value — by design, since")
+	fmt.Println("only data flow, not control dependence, is tracked (cf. the")
+	fmt.Println("dependency calculi the paper compares against).")
+}

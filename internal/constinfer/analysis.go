@@ -1,0 +1,707 @@
+package constinfer
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cfront"
+	"repro/internal/constraint"
+	"repro/internal/qual"
+)
+
+// Options selects the inference mode.
+type Options struct {
+	// Poly enables qualifier polymorphism over the function dependence
+	// graph (Section 4.3); off reproduces the monomorphic C type system.
+	Poly bool
+	// Simplify projects each scheme's constraints onto its interface
+	// variables before storing it (Section 6's presentation/efficiency
+	// simplification); semantics are unchanged.
+	Simplify bool
+	// PolyRec additionally applies polymorphic recursion inside each
+	// strongly-connected component by Kleene iteration (the extension the
+	// paper attributes to Rehof); functions in a cycle may then use each
+	// other polymorphically.
+	PolyRec bool
+	// MaxPolyRecIters bounds the Kleene iteration (default 4).
+	MaxPolyRecIters int
+}
+
+// Verdict classifies one const position (the paper's three outcomes).
+type Verdict int
+
+// Position verdicts.
+const (
+	// MustConst: every solution carries const here.
+	MustConst Verdict = iota
+	// MustNotConst: the position is written through; const is impossible.
+	MustNotConst
+	// Either: unconstrained — the position can be made const (or left
+	// non-const), the paper's additional-const count.
+	Either
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case MustConst:
+		return "must-const"
+	case MustNotConst:
+		return "not-const"
+	case Either:
+		return "either"
+	default:
+		return fmt.Sprintf("Verdict(%d)", int(v))
+	}
+}
+
+// Position is one interesting const position: a pointer level in a
+// parameter or result of a defined function.
+type Position struct {
+	// Func is the defined function owning the position.
+	Func string
+	// Param is the parameter name; empty for the function result.
+	Param string
+	// Index is the parameter index, or -1 for the result.
+	Index int
+	// Depth is the pointer level (0 = contents of the pointer itself).
+	Depth int
+	// Declared reports whether the source already spelled const here.
+	Declared bool
+	// Pos locates the parameter or result in the source.
+	Pos cfront.Pos
+
+	ref *RType
+}
+
+// PositionResult is a classified position.
+type PositionResult struct {
+	Position
+	Verdict Verdict
+}
+
+// Report is the outcome of one analysis run, with the counters of the
+// paper's Table 2.
+type Report struct {
+	// Positions lists every interesting position with its verdict.
+	Positions []PositionResult
+	// Declared counts positions already const in the source.
+	Declared int
+	// Inferred counts positions that may be const: must-const plus
+	// either (the Mono/Poly columns of Table 2).
+	Inferred int
+	// Total counts all interesting positions (Table 2's "Total possible").
+	Total int
+	// Conflicts are unsatisfiable qualifier constraints; correct C
+	// programs produce none.
+	Conflicts []*constraint.Unsat
+	// Suggested lists, per function, the declaration rewritten with every
+	// addable const inserted (the paper's re-annotated program text).
+	Suggested []Suggestion
+	// Functions counts defined functions; SCCs counts the components of
+	// the FDG; Constraints and Vars report solver load.
+	Functions   int
+	SCCs        int
+	Constraints int
+	Vars        int
+}
+
+type funcInfo struct {
+	name    string
+	decl    *cfront.FuncDecl // the defining decl, or a prototype
+	defined bool
+	sig     *RType // RFunc; created when the function's SCC is processed
+	scheme  *scheme
+}
+
+type scheme struct {
+	sig   *RType
+	qvars map[constraint.Var]bool
+	cons  []constraint.Constraint
+}
+
+// Analysis is the const-inference engine over one whole program (a set of
+// translation units analyzed together, as the paper analyzes program
+// collections).
+type Analysis struct {
+	opts Options
+	set  *qual.Set
+	sys  *constraint.System
+	tr   *translator
+
+	files     []*cfront.File
+	globals   map[string]*RType // l-value refs
+	funcs     map[string]*funcInfo
+	enums     map[string]bool
+	positions []*Position
+
+	notConst  qual.Elem
+	constMask qual.Elem
+}
+
+// NewAnalysis prepares an analysis over the parsed files.
+func NewAnalysis(files []*cfront.File, opts Options) *Analysis {
+	set := qual.MustSet(qual.Qualifier{Name: "const", Sign: qual.Positive})
+	sys := constraint.NewSystem(set)
+	if opts.MaxPolyRecIters <= 0 {
+		opts.MaxPolyRecIters = 4
+	}
+	return &Analysis{
+		opts:      opts,
+		set:       set,
+		sys:       sys,
+		tr:        newTranslator(sys),
+		files:     files,
+		globals:   make(map[string]*RType),
+		funcs:     make(map[string]*funcInfo),
+		enums:     make(map[string]bool),
+		notConst:  set.MustNot("const"),
+		constMask: set.MustMask("const"),
+	}
+}
+
+// Analyze parses nothing itself: it consumes parsed files, generates
+// constraints, solves, and classifies.
+func Analyze(files []*cfront.File, opts Options) (*Report, error) {
+	a := NewAnalysis(files, opts)
+	return a.Run()
+}
+
+// AnalyzeSource parses a single source text and analyzes it.
+func AnalyzeSource(file, src string, opts Options) (*Report, error) {
+	f, err := cfront.Parse(file, src)
+	if err != nil {
+		return nil, err
+	}
+	return Analyze([]*cfront.File{f}, opts)
+}
+
+// Run executes the analysis.
+func (a *Analysis) Run() (*Report, error) {
+	// Pass 1: collect functions (definitions win over prototypes),
+	// globals, and enum constants.
+	var globalDecls []*cfront.VarDecl
+	for _, f := range a.files {
+		for _, d := range f.Decls {
+			switch d := d.(type) {
+			case *cfront.FuncDecl:
+				fi := a.funcs[d.Name]
+				if fi == nil {
+					fi = &funcInfo{name: d.Name, decl: d}
+					a.funcs[d.Name] = fi
+				}
+				if d.Body != nil && !fi.defined {
+					fi.decl = d
+					fi.defined = true
+				}
+			case *cfront.VarDecl:
+				globalDecls = append(globalDecls, d)
+			}
+		}
+		for name := range f.EnumConsts {
+			a.enums[name] = true
+		}
+	}
+
+	// Globals are monomorphic and pinned.
+	for _, d := range globalDecls {
+		if _, dup := a.globals[d.Name]; dup {
+			continue // tentative definitions / extern redeclarations
+		}
+		a.tr.pinning = true
+		a.globals[d.Name] = a.tr.LValue(d.Type)
+		a.tr.pinning = false
+	}
+
+	// Undefined (library) functions get monomorphic signatures with the
+	// paper's conservative rule: parameters not declared const are
+	// treated as written through.
+	for _, fi := range sortedFuncs(a.funcs) {
+		if !fi.defined {
+			a.makeLibSignature(fi)
+		}
+	}
+
+	// FDG over defined functions; process SCCs callees-first (Tarjan
+	// emits components in reverse topological order).
+	defined := a.definedFuncs()
+	sccs := a.buildSCCs(defined)
+
+	for _, scc := range sccs {
+		a.processSCC(scc)
+	}
+
+	// Global initializers are analyzed after the FDG traversal (Section
+	// 4.3: "After we reach the root node of the FDG, we analyze any
+	// global variable definitions").
+	for _, d := range globalDecls {
+		if d.Init != nil {
+			env := newEnv(a)
+			lv := a.globals[d.Name]
+			a.initialize(env, lv, d.Init)
+		}
+	}
+
+	return a.solve(len(defined), len(sccs)), nil
+}
+
+func sortedFuncs(m map[string]*funcInfo) []*funcInfo {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]*funcInfo, len(names))
+	for i, n := range names {
+		out[i] = m[n]
+	}
+	return out
+}
+
+func (a *Analysis) definedFuncs() []*funcInfo {
+	var out []*funcInfo
+	for _, fi := range sortedFuncs(a.funcs) {
+		if fi.defined {
+			out = append(out, fi)
+		}
+	}
+	return out
+}
+
+// makeLibSignature builds the signature of an undefined function with the
+// conservative non-const bounds.
+func (a *Analysis) makeLibSignature(fi *funcInfo) {
+	a.tr.pinning = true
+	fi.sig = a.tr.RValue(fi.decl.Type)
+	a.tr.pinning = false
+	for _, p := range fi.sig.Params {
+		for _, pr := range collectPositions(p, 0, nil) {
+			if !pr.ref.DeclaredConst {
+				a.sys.AddMasked(pr.ref.Q, constraint.C(a.notConst), a.constMask,
+					constraint.Reason{Pos: fi.decl.Pos.String(),
+						Msg: fmt.Sprintf("library function %q may write through its parameter", fi.name)})
+			}
+		}
+	}
+}
+
+// buildSCCs computes the strongly-connected components of the function
+// dependence graph (Definition 4: an edge from f to g iff f's body
+// contains an occurrence of the name g), returned callees-first.
+func (a *Analysis) buildSCCs(defined []*funcInfo) [][]*funcInfo {
+	index := make(map[string]int, len(defined))
+	for i, fi := range defined {
+		index[fi.name] = i
+	}
+	adj := make([][]int, len(defined))
+	for i, fi := range defined {
+		seen := map[int]bool{}
+		for _, name := range occurrences(fi.decl.Body) {
+			if j, ok := index[name]; ok && j != i && !seen[j] {
+				adj[i] = append(adj[i], j)
+				seen[j] = true
+			}
+		}
+	}
+
+	// Tarjan's algorithm, iterative to survive deep call chains.
+	n := len(defined)
+	idx := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range idx {
+		idx[i] = -1
+	}
+	var stack []int
+	var sccs [][]*funcInfo
+	counter := 0
+
+	type frame struct {
+		v, child int
+	}
+	for start := 0; start < n; start++ {
+		if idx[start] != -1 {
+			continue
+		}
+		frames := []frame{{start, 0}}
+		idx[start], low[start] = counter, counter
+		counter++
+		stack = append(stack, start)
+		onStack[start] = true
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			if f.child < len(adj[f.v]) {
+				w := adj[f.v][f.child]
+				f.child++
+				if idx[w] == -1 {
+					idx[w], low[w] = counter, counter
+					counter++
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, frame{w, 0})
+				} else if onStack[w] && idx[w] < low[f.v] {
+					low[f.v] = idx[w]
+				}
+				continue
+			}
+			// Post-visit.
+			v := f.v
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				p := frames[len(frames)-1].v
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+			}
+			if low[v] == idx[v] {
+				var comp []*funcInfo
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, defined[w])
+					if w == v {
+						break
+					}
+				}
+				sccs = append(sccs, comp)
+			}
+		}
+	}
+	return sccs
+}
+
+// occurrences collects identifier names occurring in a body.
+func occurrences(b *cfront.Block) []string {
+	var out []string
+	var walkS func(cfront.Stmt)
+	var walkE func(cfront.Expr)
+	walkE = func(e cfront.Expr) {
+		switch e := e.(type) {
+		case nil:
+		case *cfront.Ident:
+			out = append(out, e.Name)
+		case *cfront.Unary:
+			walkE(e.X)
+		case *cfront.Postfix:
+			walkE(e.X)
+		case *cfront.Binary:
+			walkE(e.L)
+			walkE(e.R)
+		case *cfront.AssignExpr:
+			walkE(e.L)
+			walkE(e.R)
+		case *cfront.Cond:
+			walkE(e.C)
+			walkE(e.T)
+			walkE(e.F)
+		case *cfront.Call:
+			walkE(e.Fn)
+			for _, x := range e.Args {
+				walkE(x)
+			}
+		case *cfront.Index:
+			walkE(e.X)
+			walkE(e.I)
+		case *cfront.Member:
+			walkE(e.X)
+		case *cfront.Cast:
+			walkE(e.X)
+		case *cfront.SizeofExpr:
+			walkE(e.X)
+		case *cfront.Comma:
+			walkE(e.L)
+			walkE(e.R)
+		case *cfront.InitList:
+			for _, x := range e.Items {
+				walkE(x)
+			}
+		}
+	}
+	walkS = func(s cfront.Stmt) {
+		switch s := s.(type) {
+		case nil:
+		case *cfront.Block:
+			for _, it := range s.Items {
+				walkS(it)
+			}
+		case *cfront.DeclStmt:
+			for _, d := range s.Decls {
+				if v, ok := d.(*cfront.VarDecl); ok && v.Init != nil {
+					walkE(v.Init)
+				}
+			}
+		case *cfront.ExprStmt:
+			walkE(s.X)
+		case *cfront.IfStmt:
+			walkE(s.Cond)
+			walkS(s.Then)
+			walkS(s.Else)
+		case *cfront.WhileStmt:
+			walkE(s.Cond)
+			walkS(s.Body)
+		case *cfront.DoWhileStmt:
+			walkS(s.Body)
+			walkE(s.Cond)
+		case *cfront.ForStmt:
+			walkS(s.Init)
+			walkE(s.Cond)
+			walkE(s.Post)
+			walkS(s.Body)
+		case *cfront.ReturnStmt:
+			walkE(s.Value)
+		case *cfront.LabelStmt:
+			walkS(s.Stmt)
+		case *cfront.SwitchStmt:
+			walkE(s.Tag)
+			walkS(s.Body)
+		case *cfront.CaseStmt:
+			walkE(s.Value)
+			walkS(s.Stmt)
+		}
+	}
+	walkS(b)
+	return out
+}
+
+// processSCC creates the SCC's signatures, analyzes its bodies, and (in
+// polymorphic mode) generalizes the signatures into schemes.
+func (a *Analysis) processSCC(scc []*funcInfo) {
+	startVar := a.sys.NumVars()
+	startCon := a.sys.NumConstraints()
+
+	for _, fi := range scc {
+		fi.sig = a.tr.RValue(fi.decl.Type)
+		a.registerPositions(fi)
+	}
+	for _, fi := range scc {
+		a.analyzeBody(fi)
+	}
+
+	if !a.opts.Poly {
+		return
+	}
+	if a.opts.PolyRec && len(scc) > 0 {
+		a.polyRecIterate(scc, startVar, startCon)
+	}
+
+	endVar := a.sys.NumVars()
+	cons := append([]constraint.Constraint(nil), a.sys.Constraints()[startCon:]...)
+	qvars := make(map[constraint.Var]bool, endVar-startVar)
+	for v := startVar; v < endVar; v++ {
+		if !a.tr.pinned[constraint.Var(v)] {
+			qvars[constraint.Var(v)] = true
+		}
+	}
+	if a.opts.Simplify {
+		cons, qvars = a.simplifySchemeCons(scc, cons, qvars)
+	}
+	for _, fi := range scc {
+		fi.scheme = &scheme{sig: fi.sig, qvars: qvars, cons: cons}
+	}
+}
+
+// simplifySchemeCons projects the SCC's constraint fragment onto the
+// variables visible in its signatures plus any shared (pinned or
+// pre-existing) variables mentioned.
+func (a *Analysis) simplifySchemeCons(scc []*funcInfo, cons []constraint.Constraint, qvars map[constraint.Var]bool) ([]constraint.Constraint, map[constraint.Var]bool) {
+	iface := map[constraint.Var]bool{}
+	var order []constraint.Var
+	add := func(v constraint.Var) {
+		if !iface[v] {
+			iface[v] = true
+			order = append(order, v)
+		}
+	}
+	for _, fi := range scc {
+		for _, v := range collectVars(fi.sig, nil, map[*RType]bool{}) {
+			add(v)
+		}
+	}
+	for _, c := range cons {
+		for _, t := range []constraint.Term{c.L, c.R} {
+			if t.IsVar() && !qvars[t.Var()] {
+				add(t.Var())
+			}
+		}
+	}
+	restricted := constraint.Restrict(a.set, cons, order)
+	kept := map[constraint.Var]bool{}
+	for v := range qvars {
+		if iface[v] {
+			kept[v] = true
+		}
+	}
+	return restricted, kept
+}
+
+func collectVars(t *RType, out []constraint.Var, seen map[*RType]bool) []constraint.Var {
+	if t == nil || seen[t] {
+		return out
+	}
+	seen[t] = true
+	if t.Q.IsVar() {
+		out = append(out, t.Q.Var())
+	}
+	out = collectVars(t.Elem, out, seen)
+	out = collectVars(t.Ret, out, seen)
+	for _, p := range t.Params {
+		out = collectVars(p, out, seen)
+	}
+	// Struct fields are pinned/shared and excluded from interfaces by
+	// construction; no need to walk them.
+	return out
+}
+
+// polyRecIterate re-analyzes the SCC's bodies with the functions bound to
+// provisional schemes, so that recursive calls instantiate fresh
+// qualifier variables — polymorphic recursion by Kleene iteration, which
+// terminates because the lattice is finite and qualifiers do not change
+// the type structure (Section 4.3).
+func (a *Analysis) polyRecIterate(scc []*funcInfo, startVar, startCon int) {
+	if len(scc) == 1 {
+		// Self-recursion only matters if the function mentions itself.
+		self := false
+		for _, n := range occurrences(scc[0].decl.Body) {
+			if n == scc[0].name {
+				self = true
+				break
+			}
+		}
+		if !self {
+			return
+		}
+	}
+	for iter := 0; iter < a.opts.MaxPolyRecIters; iter++ {
+		endVar := a.sys.NumVars()
+		cons := append([]constraint.Constraint(nil), a.sys.Constraints()[startCon:]...)
+		qvars := make(map[constraint.Var]bool, endVar-startVar)
+		for v := startVar; v < endVar; v++ {
+			if !a.tr.pinned[constraint.Var(v)] {
+				qvars[constraint.Var(v)] = true
+			}
+		}
+		prevCount := a.sys.NumConstraints()
+		for _, fi := range scc {
+			fi.scheme = &scheme{sig: fi.sig, qvars: qvars, cons: cons}
+		}
+		// Re-analyze with recursive references now polymorphic; fresh
+		// signatures keep iterations independent.
+		startCon = a.sys.NumConstraints()
+		startVar = a.sys.NumVars()
+		for _, fi := range scc {
+			fi.sig = a.tr.RValue(fi.decl.Type)
+		}
+		for _, fi := range scc {
+			a.analyzeBody(fi)
+		}
+		// Repoint the recorded positions at the final signatures.
+		a.repointPositions(scc)
+		if a.sys.NumConstraints()-startCon >= prevCount-startCon && iter > 0 {
+			break // constraint growth stabilized
+		}
+	}
+	for _, fi := range scc {
+		fi.scheme = nil // final generalization happens in processSCC
+	}
+}
+
+func (a *Analysis) repointPositions(scc []*funcInfo) {
+	names := map[string]*funcInfo{}
+	for _, fi := range scc {
+		names[fi.name] = fi
+	}
+	kept := a.positions[:0]
+	for _, p := range a.positions {
+		if _, ours := names[p.Func]; !ours {
+			kept = append(kept, p)
+		}
+	}
+	a.positions = kept
+	for _, fi := range scc {
+		a.registerPositions(fi)
+	}
+}
+
+// registerPositions records the interesting const positions of a defined
+// function: every pointer level of every parameter and of the result.
+func (a *Analysis) registerPositions(fi *funcInfo) {
+	for i, p := range fi.sig.Params {
+		name := ""
+		pos := fi.decl.Pos
+		if i < len(fi.decl.Type.Params) {
+			name = fi.decl.Type.Params[i].Name
+			if fi.decl.Type.Params[i].Pos.IsValid() {
+				pos = fi.decl.Type.Params[i].Pos
+			}
+		}
+		for _, pr := range collectPositions(p, 0, nil) {
+			a.positions = append(a.positions, &Position{
+				Func: fi.name, Param: name, Index: i, Depth: pr.depth,
+				Declared: pr.ref.DeclaredConst, Pos: pos, ref: pr.ref,
+			})
+		}
+	}
+	for _, pr := range collectPositions(fi.sig.Ret, 0, nil) {
+		a.positions = append(a.positions, &Position{
+			Func: fi.name, Index: -1, Depth: pr.depth,
+			Declared: pr.ref.DeclaredConst, Pos: fi.decl.Pos, ref: pr.ref,
+		})
+	}
+}
+
+// useFunc returns the r-value type for an occurrence of a function name:
+// an instantiation of its scheme in polymorphic mode, its shared
+// signature otherwise (including within its own SCC).
+func (a *Analysis) useFunc(fi *funcInfo) *RType {
+	if fi.sig == nil {
+		// Referenced before its SCC is processed; only possible through
+		// odd declaration orders — make a monomorphic signature now.
+		a.tr.pinning = true
+		fi.sig = a.tr.RValue(fi.decl.Type)
+		a.tr.pinning = false
+	}
+	if fi.scheme == nil {
+		return fi.sig
+	}
+	ren := make(map[constraint.Var]constraint.Var)
+	for v := range fi.scheme.qvars {
+		ren[v] = a.sys.Fresh()
+	}
+	a.sys.AddConstraints(fi.scheme.cons, ren)
+	return a.tr.instantiate(fi.scheme.sig, ren, map[*RType]*RType{})
+}
+
+// solve runs the solver and classifies the recorded positions.
+func (a *Analysis) solve(nfuncs, nsccs int) *Report {
+	conflicts := a.sys.Solve()
+	rep := &Report{
+		Conflicts:   conflicts,
+		Functions:   nfuncs,
+		SCCs:        nsccs,
+		Constraints: a.sys.NumConstraints(),
+		Vars:        a.sys.NumVars(),
+	}
+	for _, p := range a.positions {
+		v := Either
+		if p.ref.Q.IsVar() {
+			switch {
+			case a.sys.Forced(p.ref.Q.Var(), "const"):
+				v = MustConst
+			case a.sys.Forbidden(p.ref.Q.Var(), "const"):
+				v = MustNotConst
+			}
+		} else if a.set.Has(p.ref.Q.Const(), "const") {
+			v = MustConst
+		}
+		rep.Total++
+		if p.Declared {
+			rep.Declared++
+		}
+		if v == MustConst || v == Either {
+			rep.Inferred++
+		}
+		rep.Positions = append(rep.Positions, PositionResult{Position: *p, Verdict: v})
+	}
+	rep.Suggested = a.buildSuggestions(rep)
+	return rep
+}

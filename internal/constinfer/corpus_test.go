@@ -1,0 +1,230 @@
+package constinfer
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/cfront"
+)
+
+// loadCorpus parses every testdata C file.
+func loadCorpus(t *testing.T) map[string]*cfront.File {
+	t.Helper()
+	paths, err := filepath.Glob("testdata/*.c")
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("corpus missing: %v (%d files)", err, len(paths))
+	}
+	out := map[string]*cfront.File{}
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := cfront.Parse(path, string(data))
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		out[filepath.Base(path)] = f
+	}
+	return out
+}
+
+// TestCorpusAllModes: every corpus file analyzes cleanly in every mode
+// with the paper's ordering between the modes.
+func TestCorpusAllModes(t *testing.T) {
+	for name, f := range loadCorpus(t) {
+		name, f := name, f
+		t.Run(name, func(t *testing.T) {
+			modes := []Options{
+				{},
+				{Poly: true},
+				{Poly: true, Simplify: true},
+				{Poly: true, PolyRec: true, Simplify: true},
+			}
+			var inferred []int
+			for _, opts := range modes {
+				rep, err := Analyze([]*cfront.File{f}, opts)
+				if err != nil {
+					t.Fatalf("opts %+v: %v", opts, err)
+				}
+				if len(rep.Conflicts) > 0 {
+					t.Fatalf("opts %+v: conflict: %v", opts, rep.Conflicts[0].Error())
+				}
+				inferred = append(inferred, rep.Inferred)
+				if rep.Declared > rep.Inferred || rep.Inferred > rep.Total {
+					t.Errorf("opts %+v: ordering violated: %d/%d/%d", opts, rep.Declared, rep.Inferred, rep.Total)
+				}
+			}
+			// Poly ≥ mono; simplify neutral; polyrec ≥ poly.
+			if inferred[1] < inferred[0] {
+				t.Errorf("poly %d < mono %d", inferred[1], inferred[0])
+			}
+			if inferred[2] != inferred[1] {
+				t.Errorf("simplify changed results: %d vs %d", inferred[2], inferred[1])
+			}
+			if inferred[3] < inferred[2] {
+				t.Errorf("polyrec %d < poly %d", inferred[3], inferred[2])
+			}
+		})
+	}
+}
+
+// TestCorpusPrintRoundTrip: the C printer round-trips every corpus file
+// with identical analysis results.
+func TestCorpusPrintRoundTrip(t *testing.T) {
+	for name, f := range loadCorpus(t) {
+		name, f := name, f
+		t.Run(name, func(t *testing.T) {
+			printed := cfront.PrintFile(f)
+			f2, err := cfront.Parse(name, printed)
+			if err != nil {
+				t.Fatalf("reparse: %v\n%s", err, printed)
+			}
+			r1, err := Analyze([]*cfront.File{f}, Options{Poly: true, Simplify: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			r2, err := Analyze([]*cfront.File{f2}, Options{Poly: true, Simplify: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r1.Declared != r2.Declared || r1.Inferred != r2.Inferred || r1.Total != r2.Total {
+				t.Errorf("round trip changed results: %d/%d/%d vs %d/%d/%d",
+					r1.Declared, r1.Inferred, r1.Total, r2.Declared, r2.Inferred, r2.Total)
+			}
+		})
+	}
+}
+
+// TestCorpusStrutilVerdicts spot-checks the string-utility module.
+func TestCorpusStrutilVerdicts(t *testing.T) {
+	f := loadCorpus(t)["strutil.c"]
+	mono, err := Analyze([]*cfront.File{f}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	poly, err := Analyze([]*cfront.File{f}, Options{Poly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The declared-const reader stays const.
+	if p := find(t, mono, "str_hash", "s", 0); p.Verdict != MustConst || !p.Declared {
+		t.Errorf("str_hash.s = %v declared=%v", p.Verdict, p.Declared)
+	}
+	// The undeclared reader is const-able in both modes.
+	for _, rep := range []*Report{mono, poly} {
+		if p := find(t, rep, "str_count", "s", 0); p.Verdict != Either {
+			t.Errorf("str_count.s = %v", p.Verdict)
+		}
+	}
+	// Writers never, in either mode.
+	if p := find(t, poly, "str_upper", "s", 0); p.Verdict != MustNotConst {
+		t.Errorf("str_upper.s = %v", p.Verdict)
+	}
+	if p := find(t, poly, "str_reverse", "s", 0); p.Verdict != MustNotConst {
+		t.Errorf("str_reverse.s = %v", p.Verdict)
+	}
+	if p := find(t, poly, "str_truncate_at", "line", 0); p.Verdict != MustNotConst {
+		t.Errorf("str_truncate_at.line = %v", p.Verdict)
+	}
+	// The flow-through pattern: poisoned monomorphically, separated
+	// polymorphically.
+	if p := find(t, mono, "str_tail_len", "line", 0); p.Verdict != MustNotConst {
+		t.Errorf("mono str_tail_len.line = %v", p.Verdict)
+	}
+	if p := find(t, poly, "str_tail_len", "line", 0); p.Verdict != Either {
+		t.Errorf("poly str_tail_len.line = %v", p.Verdict)
+	}
+	if p := find(t, poly, "str_skip", "s", 0); p.Verdict != Either {
+		t.Errorf("poly str_skip.s = %v", p.Verdict)
+	}
+	if poly.Inferred <= mono.Inferred {
+		t.Errorf("no poly gain on strutil: %d vs %d", poly.Inferred, mono.Inferred)
+	}
+}
+
+// TestCorpusListVerdicts spot-checks the linked-list module.
+func TestCorpusListVerdicts(t *testing.T) {
+	f := loadCorpus(t)["list.c"]
+	rep, err := Analyze([]*cfront.File{f}, Options{Poly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SCCs >= rep.Functions {
+		t.Errorf("walk_even/walk_odd should share an SCC: %d SCCs for %d functions",
+			rep.SCCs, rep.Functions)
+	}
+	// The pure reader's struct pointer is const-able.
+	if p := find(t, rep, "list_weight", "l", 0); p.Verdict != Either {
+		t.Errorf("list_weight.l = %v", p.Verdict)
+	}
+	// list_push writes fields through its parameters.
+	if p := find(t, rep, "list_push", "l", 0); p.Verdict != MustNotConst {
+		t.Errorf("list_push.l = %v", p.Verdict)
+	}
+	if p := find(t, rep, "list_push", "n", 0); p.Verdict != MustNotConst {
+		t.Errorf("list_push.n = %v", p.Verdict)
+	}
+	// list_blank writes through the shared text field: node_new's text
+	// parameter feeds that field, so its contents are not const.
+	if p := find(t, rep, "node_new", "text", 0); p.Verdict != MustNotConst {
+		t.Errorf("node_new.text = %v", p.Verdict)
+	}
+}
+
+// TestCorpusBufferVerdicts spot-checks the buffer module.
+func TestCorpusBufferVerdicts(t *testing.T) {
+	f := loadCorpus(t)["buffer.c"]
+	rep, err := Analyze([]*cfront.File{f}, Options{Poly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The declared-const interface holds.
+	if p := find(t, rep, "buf_append", "s", 0); p.Verdict != MustConst {
+		t.Errorf("buf_append.s = %v", p.Verdict)
+	}
+	if p := find(t, rep, "buf_view", "", 0); p.Verdict != MustConst || !p.Declared {
+		t.Errorf("buf_view result = %v declared=%v", p.Verdict, p.Declared)
+	}
+	// The undeclared reader is found.
+	if p := find(t, rep, "buf_len", "b", 0); p.Verdict != Either {
+		t.Errorf("buf_len.b = %v", p.Verdict)
+	}
+	// Suggestions include buf_len.
+	found := false
+	for _, s := range rep.Suggested {
+		if s.Func == "buf_len" {
+			found = true
+			// Typedefs are macro-expanded (Section 4.2), so the
+			// suggestion spells the underlying type.
+			if s.New != "unsigned long buf_len(const struct buffer *b)" {
+				t.Errorf("buf_len suggestion = %q", s.New)
+			}
+		}
+	}
+	if !found {
+		t.Error("no suggestion for buf_len")
+	}
+}
+
+// TestCorpusCompilesWithCC validates the corpus is real C when a system
+// compiler is available.
+func TestCorpusCompilesWithCC(t *testing.T) {
+	cc, err := exec.LookPath("cc")
+	if err != nil {
+		if cc, err = exec.LookPath("gcc"); err != nil {
+			t.Skip("no C compiler available")
+		}
+	}
+	paths, _ := filepath.Glob("testdata/*.c")
+	for _, path := range paths {
+		out, err := exec.Command(cc, "-std=c99", "-fsyntax-only", "-Wall", path).CombinedOutput()
+		if err != nil {
+			t.Errorf("%s: cc rejected: %v\n%s", path, err, out)
+		} else if len(out) > 0 {
+			t.Logf("%s: cc warnings:\n%s", path, out)
+		}
+	}
+}

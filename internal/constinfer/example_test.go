@@ -1,0 +1,34 @@
+package constinfer_test
+
+import (
+	"fmt"
+
+	"repro/internal/constinfer"
+)
+
+// Classifying the const positions of a small C program (the Section 4
+// analysis in miniature).
+func ExampleAnalyzeSource() {
+	rep, err := constinfer.AnalyzeSource("ex.c", `
+		int mylen(char *s) {
+			int n = 0;
+			while (s[n]) n++;
+			return n;
+		}
+		void set(char *p) { *p = 0; }
+	`, constinfer.Options{})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	for _, p := range rep.Positions {
+		fmt.Printf("%s.%s: %s\n", p.Func, p.Param, p.Verdict)
+	}
+	for _, s := range rep.Suggested {
+		fmt.Println("suggest:", s.New)
+	}
+	// Output:
+	// mylen.s: either
+	// set.p: not-const
+	// suggest: int mylen(const char *s)
+}

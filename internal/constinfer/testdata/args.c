@@ -1,0 +1,86 @@
+/* args.c — a small option parser: enums, typedefs, globals, switch
+ * statements, string literals, and a function-pointer dispatch table. */
+
+typedef unsigned long size_t;
+extern size_t strlen(const char *s);
+extern int strcmp(const char *a, const char *b);
+extern int printf(const char *fmt, ...);
+
+enum opt_kind { OPT_FLAG, OPT_VALUE = 10, OPT_END };
+
+typedef struct option {
+    char *name;
+    int kind;
+    int seen;
+} option_t;
+
+static option_t g_opts[4];
+static int g_nopts;
+static int g_verbose;
+
+static void opt_register(char *name, int kind) {
+    if (g_nopts >= 4)
+        return;
+    g_opts[g_nopts].name = name;
+    g_opts[g_nopts].kind = kind;
+    g_opts[g_nopts].seen = 0;
+    g_nopts++;
+}
+
+/* Reads the option name; could be const. */
+static option_t *opt_find(char *name) {
+    int i;
+    for (i = 0; i < g_nopts; i++)
+        if (strcmp(g_opts[i].name, name) == 0)
+            return &g_opts[i];
+    return 0;
+}
+
+static int handle_help(char *arg) {
+    printf("usage: %s\n", arg);
+    return 0;
+}
+
+static int handle_version(char *arg) {
+    (void)arg;
+    return 1;
+}
+
+static int dispatch(char *name, char *arg) {
+    int (*handler)(char *);
+    switch (name[0]) {
+    case 'h':
+        handler = handle_help;
+        break;
+    case 'v':
+        handler = handle_version;
+        break;
+    default:
+        return -1;
+    }
+    return handler(arg);
+}
+
+int args_main(int argc, char **argv) {
+    int i, status = 0;
+    opt_register("help", OPT_FLAG);
+    opt_register("version", OPT_FLAG);
+    opt_register("output", OPT_VALUE);
+    for (i = 1; i < argc; i++) {
+        char *a = argv[i];
+        option_t *o;
+        if (a[0] != '-')
+            continue;
+        o = opt_find(a + 1);
+        if (o) {
+            o->seen = 1;
+            if (o->kind == OPT_VALUE && i + 1 < argc)
+                i++;
+        } else {
+            status = dispatch(a + 1, a);
+        }
+        if (g_verbose)
+            printf("arg %d: %s (len %lu)\n", i, a, strlen(a));
+    }
+    return status;
+}

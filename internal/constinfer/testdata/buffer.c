@@ -1,0 +1,82 @@
+/* buffer.c — a growable byte buffer: casts, sizeof, pointer arithmetic,
+ * compound assignment, do/while, and a const-correct external interface
+ * that the inference should confirm and extend. */
+
+typedef unsigned long size_t;
+extern void *malloc(size_t n);
+extern void free(void *p);
+extern char *strcpy(char *dst, const char *src);
+extern size_t strlen(const char *s);
+
+struct buffer {
+    char *data;
+    size_t len;
+    size_t cap;
+};
+
+static struct buffer *buf_new(size_t cap) {
+    struct buffer *b = (struct buffer *)malloc(sizeof(struct buffer));
+    b->data = (char *)malloc(cap ? cap : 16);
+    b->len = 0;
+    b->cap = cap ? cap : 16;
+    return b;
+}
+
+static int buf_grow(struct buffer *b, size_t need) {
+    char *fresh;
+    size_t newcap = b->cap;
+    do {
+        newcap *= 2;
+    } while (newcap < b->len + need);
+    fresh = (char *)malloc(newcap);
+    if (!fresh)
+        return -1;
+    strcpy(fresh, b->data);
+    free(b->data);
+    b->data = fresh;
+    b->cap = newcap;
+    return 0;
+}
+
+int buf_append(struct buffer *b, const char *s) {
+    size_t n = strlen(s);
+    if (b->len + n + 1 > b->cap && buf_grow(b, n + 1) < 0)
+        return -1;
+    strcpy(b->data + b->len, s);
+    b->len += n;
+    return 0;
+}
+
+/* The const on the result is the interface promise the analysis should
+ * keep: callers read, never write. */
+const char *buf_view(struct buffer *b) {
+    return b->data;
+}
+
+/* An undeclared-const reader: the inference finds it. */
+size_t buf_len(struct buffer *b) {
+    return b->len;
+}
+
+void buf_clear(struct buffer *b) {
+    b->len = 0;
+    if (b->data)
+        b->data[0] = 0;
+}
+
+void buf_release(struct buffer *b) {
+    free(b->data);
+    free(b);
+}
+
+int buffer_main(void) {
+    struct buffer *b = buf_new(8);
+    int rc = 0;
+    rc += buf_append(b, "hello ");
+    rc += buf_append(b, "world");
+    rc += (int)strlen(buf_view(b));
+    rc += (int)buf_len(b);
+    buf_clear(b);
+    buf_release(b);
+    return rc;
+}

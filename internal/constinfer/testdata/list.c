@@ -1,0 +1,95 @@
+/* list.c — linked-list utilities: shared struct fields, self-referencing
+ * structs, mutual recursion (an FDG cycle), and mixed read/write access
+ * to list payloads. */
+
+typedef unsigned long size_t;
+extern void *malloc(size_t n);
+extern void free(void *p);
+
+struct node {
+    char *text;
+    int weight;
+    struct node *next;
+};
+
+struct list {
+    struct node *head;
+    int count;
+};
+
+static struct node *node_new(char *text, int weight) {
+    struct node *n = (struct node *)malloc(sizeof(struct node));
+    n->text = text;
+    n->weight = weight;
+    n->next = 0;
+    return n;
+}
+
+static void list_push(struct list *l, struct node *n) {
+    n->next = l->head;
+    l->head = n;
+    l->count++;
+}
+
+/* Pure reader over the list structure. */
+static int list_weight(struct list *l) {
+    struct node *n;
+    int total = 0;
+    for (n = l->head; n; n = n->next)
+        total += n->weight;
+    return total;
+}
+
+/* Mutually recursive walkers: one FDG strongly-connected component. */
+static int walk_even(struct node *n, int depth);
+
+static int walk_odd(struct node *n, int depth) {
+    if (!n)
+        return depth;
+    return walk_even(n->next, depth + 1);
+}
+
+static int walk_even(struct node *n, int depth) {
+    if (!n)
+        return depth;
+    return walk_odd(n->next, depth + 1);
+}
+
+/* Writes through the payload pointer stored in the shared field. */
+static void list_blank(struct list *l) {
+    struct node *n;
+    for (n = l->head; n; n = n->next)
+        if (n->text)
+            *(n->text) = ' ';
+}
+
+static void list_free(struct list *l) {
+    struct node *n = l->head;
+    while (n) {
+        struct node *next = n->next;
+        free(n);
+        n = next;
+    }
+    l->head = 0;
+    l->count = 0;
+}
+
+int list_main(void) {
+    struct list l;
+    char a[16], b[16];
+    l.head = 0;
+    l.count = 0;
+    a[0] = 'x';
+    a[1] = 0;
+    b[0] = 'y';
+    b[1] = 0;
+    list_push(&l, node_new(a, 1));
+    list_push(&l, node_new(b, 2));
+    {
+        int w = list_weight(&l);
+        int d = walk_odd(l.head, 0);
+        list_blank(&l);
+        list_free(&l);
+        return w + d;
+    }
+}

@@ -1,0 +1,89 @@
+/* strutil.c — string utilities in the style of the paper's benchmarks:
+ * a mix of declared-const readers, undeclared readers, writers, and the
+ * strchr-style flow-through functions that drive the polymorphism gain. */
+
+typedef unsigned long size_t;
+
+extern size_t strlen(const char *s);
+extern char *strcpy(char *dst, const char *src);
+extern int strcmp(const char *a, const char *b);
+
+static int str_hash(const char *s) {
+    int h = 5381;
+    while (*s) {
+        h = h * 33 + *s;
+        s++;
+    }
+    return h;
+}
+
+/* Reader without the const the programmer could have written. */
+static int str_count(char *s, char c) {
+    int n = 0;
+    for (; *s; s++)
+        if (*s == c)
+            n++;
+    return n;
+}
+
+static void str_upper(char *s) {
+    for (; *s; s++)
+        if (*s >= 'a' && *s <= 'z')
+            *s = *s - 'a' + 'A';
+}
+
+static void str_reverse(char *s, int n) {
+    int i, j;
+    for (i = 0, j = n - 1; i < j; i++, j--) {
+        char t = s[i];
+        s[i] = s[j];
+        s[j] = t;
+    }
+}
+
+/* The strchr pattern: a pointer into the argument flows out. */
+static char *str_skip(char *s, char stop) {
+    while (*s && *s != stop)
+        s++;
+    return s;
+}
+
+/* Reader through the flow-through helper. */
+static int str_tail_len(char *line) {
+    char *p = str_skip(line, ':');
+    return (int)strlen(p);
+}
+
+/* Writer through the same helper: monomorphically this poisons
+ * str_tail_len's parameter as well. */
+static void str_truncate_at(char *line, char stop) {
+    char *p = str_skip(line, stop);
+    *p = 0;
+}
+
+static int str_equal_upto(char *a, char *b, int n) {
+    int i;
+    for (i = 0; i < n; i++) {
+        if (a[i] != b[i])
+            return 0;
+        if (a[i] == 0)
+            return 1;
+    }
+    return 1;
+}
+
+int str_main(int argc, char **argv) {
+    char buf[256];
+    int total = 0, i;
+    for (i = 1; i < argc; i++) {
+        strcpy(buf, argv[i]);
+        str_upper(buf);
+        str_truncate_at(buf, '#');
+        total += str_hash(buf);
+        total += str_count(buf, 'A');
+        total += str_tail_len(argv[i]);
+        total += str_equal_upto(buf, argv[i], 8);
+        str_reverse(buf, (int)strlen(buf));
+    }
+    return total;
+}

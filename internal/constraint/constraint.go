@@ -1,0 +1,595 @@
+// Package constraint implements the atomic qualifier-constraint systems of
+// Section 3.1 of "A Theory of Type Qualifiers" (PLDI 1999).
+//
+// After the structural subtyping rules are applied, qualifier inference is
+// left with constraints of the forms κ ⊑ L, L ⊑ κ and κ1 ⊑ κ2, where the κ
+// are qualifier variables and the L are elements of the qualifier lattice.
+// This is an atomic subtyping system over a fixed finite lattice, solvable
+// in time linear in the number of constraints (Henglein & Rehof 1997). The
+// solver computes both the least solution (every variable at the join of
+// the constant lower bounds that reach it) and the greatest solution; a
+// variable whose least and greatest solutions differ on a qualifier is
+// unconstrained in that qualifier — the "could be either" verdict of the
+// paper's const experiment.
+//
+// Constraints may carry a component mask restricting them to a sub-lattice
+// of the product lattice; masked constraints express per-qualifier
+// interaction rules such as the binding-time well-formedness condition
+// (nothing dynamic inside something static), which relates only the
+// dynamic component of two qualifier sets.
+package constraint
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/qual"
+)
+
+// Var names a qualifier variable (κ in the paper).
+type Var int
+
+// Term is one side of an atomic constraint: either a qualifier variable or
+// a constant lattice element.
+type Term struct {
+	isVar bool
+	v     Var
+	c     qual.Elem
+}
+
+// V wraps a variable as a Term.
+func V(v Var) Term { return Term{isVar: true, v: v} }
+
+// C wraps a constant lattice element as a Term.
+func C(e qual.Elem) Term { return Term{c: e} }
+
+// IsVar reports whether the term is a variable.
+func (t Term) IsVar() bool { return t.isVar }
+
+// Var returns the variable of a variable term; it panics on constants.
+func (t Term) Var() Var {
+	if !t.isVar {
+		panic("constraint: Var called on constant term")
+	}
+	return t.v
+}
+
+// Const returns the lattice element of a constant term; it panics on
+// variables.
+func (t Term) Const() qual.Elem {
+	if t.isVar {
+		panic("constraint: Const called on variable term")
+	}
+	return t.c
+}
+
+func (t Term) String() string {
+	if t.isVar {
+		return fmt.Sprintf("κ%d", int(t.v))
+	}
+	return fmt.Sprintf("L(%#x)", uint64(t.c))
+}
+
+// Format renders the term using the qualifier set for constants.
+func (t Term) Format(set *qual.Set) string {
+	if t.isVar {
+		return fmt.Sprintf("κ%d", int(t.v))
+	}
+	return set.Describe(t.c)
+}
+
+// Reason records where and why a constraint was generated, for diagnostics.
+type Reason struct {
+	// Pos is a source position, typically "file:line:col"; may be empty.
+	Pos string
+	// Msg describes the language construct that generated the constraint,
+	// e.g. `assignment to "x"` or `assertion e|¬const`.
+	Msg string
+}
+
+func (r Reason) String() string {
+	switch {
+	case r.Pos == "" && r.Msg == "":
+		return "(no provenance)"
+	case r.Pos == "":
+		return r.Msg
+	case r.Msg == "":
+		return r.Pos
+	default:
+		return r.Pos + ": " + r.Msg
+	}
+}
+
+// Constraint is one atomic constraint L ⊑ R restricted to the components
+// in Mask.
+type Constraint struct {
+	L, R Term
+	// Mask selects the lattice components the constraint applies to.
+	Mask qual.Elem
+	// Why records provenance for error messages.
+	Why Reason
+}
+
+func (c Constraint) String() string {
+	return fmt.Sprintf("%v ⊑ %v /%#x", c.L, c.R, uint64(c.Mask))
+}
+
+// Unsat describes one unsatisfiable constraint: the least solution of the
+// left side exceeds the right side on some component. Path, when present,
+// traces the chain of constraints that forced the offending lower bound,
+// ending at the reported constraint.
+type Unsat struct {
+	Con Constraint
+	// Lower is the computed least value of the left side.
+	Lower qual.Elem
+	// Bound is the effective upper bound of the right side.
+	Bound qual.Elem
+	// Path lists the constraints, source first, along which the conflicting
+	// qualifier flowed to the left side.
+	Path []Constraint
+}
+
+func (u *Unsat) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "unsatisfiable qualifier constraint: %v (%v)", u.Con, u.Con.Why)
+	for _, c := range u.Path {
+		fmt.Fprintf(&b, "\n\tvia %v (%v)", c, c.Why)
+	}
+	return b.String()
+}
+
+// Explain renders the conflict with qualifier names resolved against set.
+func (u *Unsat) Explain(set *qual.Set) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "qualifier %s does not fit under bound %s", set.Describe(u.Lower), set.Describe(u.Bound))
+	if u.Con.Why.Pos != "" || u.Con.Why.Msg != "" {
+		fmt.Fprintf(&b, " at %v", u.Con.Why)
+	}
+	for _, c := range u.Path {
+		fmt.Fprintf(&b, "\n\tflow: %s ⊑ %s (%v)", c.L.Format(set), c.R.Format(set), c.Why)
+	}
+	return b.String()
+}
+
+// System accumulates atomic constraints over a qualifier set and solves
+// them. The zero value is not usable; call NewSystem.
+type System struct {
+	set  *qual.Set
+	n    int
+	cons []Constraint
+
+	solved bool
+	lower  []qual.Elem
+	upper  []qual.Elem
+}
+
+// NewSystem creates an empty constraint system over the qualifier set.
+func NewSystem(set *qual.Set) *System {
+	return &System{set: set}
+}
+
+// Set returns the qualifier set the system is defined over.
+func (s *System) Set() *qual.Set { return s.set }
+
+// Fresh allocates a new qualifier variable.
+func (s *System) Fresh() Var {
+	v := Var(s.n)
+	s.n++
+	s.solved = false
+	return v
+}
+
+// NumVars reports how many variables have been allocated.
+func (s *System) NumVars() int { return s.n }
+
+// NumConstraints reports how many constraints have been added.
+func (s *System) NumConstraints() int { return len(s.cons) }
+
+// Constraints returns the recorded constraints; the slice must not be
+// modified.
+func (s *System) Constraints() []Constraint { return s.cons }
+
+// Add records the constraint l ⊑ r over the full lattice.
+func (s *System) Add(l, r Term, why Reason) {
+	s.AddMasked(l, r, s.set.FullMask(), why)
+}
+
+// AddMasked records the constraint l ⊑ r restricted to the components in
+// mask. Trivial constraints (identical terms, or constant pairs already
+// ordered) are dropped.
+func (s *System) AddMasked(l, r Term, mask qual.Elem, why Reason) {
+	if mask == 0 {
+		return
+	}
+	if l.isVar && r.isVar && l.v == r.v {
+		return
+	}
+	if !l.isVar && !r.isVar && qual.LeqMask(l.c, r.c, mask) {
+		return
+	}
+	s.cons = append(s.cons, Constraint{L: l, R: r, Mask: mask, Why: why})
+	s.solved = false
+}
+
+// AddConstraints replays previously recorded constraints, renaming
+// variables through rename (variables absent from rename are kept as-is).
+// It is the instantiation step of qualifier polymorphism: the constraints
+// captured in a type scheme are copied with the quantified variables
+// replaced by fresh ones.
+func (s *System) AddConstraints(cons []Constraint, rename map[Var]Var) {
+	for _, c := range cons {
+		l, r := c.L, c.R
+		if l.isVar {
+			if nv, ok := rename[l.v]; ok {
+				l = V(nv)
+			}
+		}
+		if r.isVar {
+			if nv, ok := rename[r.v]; ok {
+				r = V(nv)
+			}
+		}
+		s.AddMasked(l, r, c.Mask, c.Why)
+	}
+}
+
+// Solve computes the least and greatest solutions and returns the
+// unsatisfiable constraints (nil when the system is satisfiable). Solve
+// may be called repeatedly; constraints added after a call invalidate the
+// previous solution and are picked up by the next call.
+func (s *System) Solve() []*Unsat {
+	n := s.n
+	lower := make([]qual.Elem, n)
+	upper := make([]qual.Elem, n)
+	top := s.set.Top()
+	for i := range upper {
+		upper[i] = top
+	}
+
+	// Forward edges propagate lower bounds; reverse edges propagate upper
+	// bounds. Adjacency is rebuilt per solve: systems are solved once or
+	// twice, and the rebuild is linear.
+	type edge struct {
+		to   Var
+		mask qual.Elem
+	}
+	fwd := make([][]edge, n)
+	rev := make([][]edge, n)
+	for _, c := range s.cons {
+		switch {
+		case c.L.isVar && c.R.isVar:
+			fwd[c.L.v] = append(fwd[c.L.v], edge{to: c.R.v, mask: c.Mask})
+			rev[c.R.v] = append(rev[c.R.v], edge{to: c.L.v, mask: c.Mask})
+		case !c.L.isVar && c.R.isVar:
+			lower[c.R.v] = qual.Join(lower[c.R.v], c.L.c&c.Mask)
+		case c.L.isVar && !c.R.isVar:
+			// κ ⊑ L constrains only the masked components; outside the
+			// mask the variable remains free, hence the |^mask.
+			upper[c.L.v] = qual.Meet(upper[c.L.v], c.R.c|^c.Mask)
+		}
+	}
+
+	// Least fixpoint of the lower bounds over forward edges.
+	work := make([]Var, 0, n)
+	inWork := make([]bool, n)
+	for v := 0; v < n; v++ {
+		if lower[v] != 0 {
+			work = append(work, Var(v))
+			inWork[v] = true
+		}
+	}
+	for len(work) > 0 {
+		v := work[len(work)-1]
+		work = work[:len(work)-1]
+		inWork[v] = false
+		for _, e := range fwd[v] {
+			add := lower[v] & e.mask
+			if qual.Leq(add, lower[e.to]) {
+				continue
+			}
+			lower[e.to] = qual.Join(lower[e.to], add)
+			if !inWork[e.to] {
+				work = append(work, e.to)
+				inWork[e.to] = true
+			}
+		}
+	}
+
+	// Greatest fixpoint of the upper bounds over reverse edges.
+	for v := 0; v < n; v++ {
+		if upper[v] != top {
+			work = append(work, Var(v))
+			inWork[v] = true
+		}
+	}
+	for len(work) > 0 {
+		v := work[len(work)-1]
+		work = work[:len(work)-1]
+		inWork[v] = false
+		for _, e := range rev[v] {
+			bound := upper[v] | ^e.mask
+			if qual.Leq(upper[e.to], bound) {
+				continue
+			}
+			upper[e.to] = qual.Meet(upper[e.to], bound)
+			if !inWork[e.to] {
+				work = append(work, e.to)
+				inWork[e.to] = true
+			}
+		}
+	}
+
+	s.lower, s.upper, s.solved = lower, upper, true
+
+	// A system is satisfiable iff the least solution satisfies every
+	// constraint with a constant right side (conflicts always manifest at
+	// such a sink; checking the propagated variable bounds as well would
+	// re-report the same conflict once per constraint along the path).
+	var unsat []*Unsat
+	for _, c := range s.cons {
+		if c.R.isVar {
+			continue
+		}
+		lv := s.valueLower(c.L)
+		bound := c.R.c
+		if !qual.LeqMask(lv, bound, c.Mask) {
+			u := &Unsat{Con: c, Lower: lv & c.Mask, Bound: bound | ^c.Mask}
+			if c.L.isVar {
+				bad := (lv &^ bound) & c.Mask
+				u.Path = s.blame(c.L.v, bad)
+			}
+			unsat = append(unsat, u)
+		}
+	}
+	return unsat
+}
+
+func (s *System) valueLower(t Term) qual.Elem {
+	if t.isVar {
+		return s.lower[t.v]
+	}
+	return t.c
+}
+
+// blame searches backwards from v for the constant-to-variable constraint
+// that introduced the offending qualifier bits, returning the flow path in
+// source-to-sink order. It runs only on failure, so a linear scan per step
+// is acceptable.
+func (s *System) blame(v Var, bad qual.Elem) []Constraint {
+	type node struct {
+		v    Var
+		bits qual.Elem
+	}
+	prev := make(map[Var]Constraint)
+	seen := map[Var]bool{v: true}
+	frontier := []node{{v, bad}}
+	var origin *Constraint
+	var originVar Var
+	for len(frontier) > 0 && origin == nil {
+		next := frontier[:0:0]
+		for _, nd := range frontier {
+			for i := range s.cons {
+				c := s.cons[i]
+				if !c.R.isVar || c.R.v != nd.v {
+					continue
+				}
+				bits := nd.bits & c.Mask
+				if bits == 0 {
+					continue
+				}
+				if !c.L.isVar {
+					if c.L.c&bits != 0 {
+						origin = &c
+						originVar = nd.v
+						break
+					}
+					continue
+				}
+				src := c.L.v
+				if seen[src] || s.lower[src]&bits == 0 {
+					continue
+				}
+				seen[src] = true
+				prev[src] = c
+				next = append(next, node{src, bits})
+			}
+			if origin != nil {
+				break
+			}
+		}
+		frontier = next
+	}
+	if origin == nil {
+		return nil
+	}
+	// prev[src] is the edge src ⊑ parent along which the backward search
+	// discovered src; following prev from the origin variable walks the
+	// flow forward until it reaches v.
+	path := []Constraint{*origin}
+	for at := originVar; at != v; {
+		c, ok := prev[at]
+		if !ok {
+			break
+		}
+		path = append(path, c)
+		at = c.R.v
+	}
+	return path
+}
+
+// Lower returns the least-solution value of v. It panics if the system has
+// not been solved since the last modification.
+func (s *System) Lower(v Var) qual.Elem {
+	s.mustSolved()
+	return s.lower[v]
+}
+
+// Upper returns the greatest-solution value of v. It panics if the system
+// has not been solved since the last modification.
+func (s *System) Upper(v Var) qual.Elem {
+	s.mustSolved()
+	return s.upper[v]
+}
+
+// Forced reports whether the named qualifier is present in every solution
+// for v (its least solution already carries it).
+func (s *System) Forced(v Var, name string) bool {
+	s.mustSolved()
+	return s.set.Has(s.lower[v], name)
+}
+
+// Forbidden reports whether the named qualifier is absent from every
+// solution for v (its greatest solution lacks it).
+func (s *System) Forbidden(v Var, name string) bool {
+	s.mustSolved()
+	return !s.set.Has(s.upper[v], name)
+}
+
+// Free reports whether v may take either value of the named qualifier —
+// the paper's "could be either" verdict.
+func (s *System) Free(v Var, name string) bool {
+	s.mustSolved()
+	return !s.Forced(v, name) && !s.Forbidden(v, name)
+}
+
+func (s *System) mustSolved() {
+	if !s.solved {
+		panic("constraint: System not solved (call Solve after the last Add)")
+	}
+}
+
+// Restrict projects the recorded constraints onto the interface variables,
+// eliminating all others. The projection is exact for atomic constraints:
+// it preserves, per lattice component, (1) reachability between interface
+// variables, (2) the strongest constant lower bound flowing into each
+// interface variable, and (3) the strongest constant upper bound flowing
+// out of it. This is the scheme-simplification step the paper lists as
+// future work (§6); instantiating a restricted scheme is equivalent to
+// instantiating the full constraint set but much smaller.
+//
+// The caller must ensure the full system is satisfiable (the purely local
+// constraints are checked once, at generalization time); Restrict itself
+// does not re-check them.
+func (s *System) Restrict(iface []Var) []Constraint {
+	return Restrict(s.set, s.cons, iface)
+}
+
+// Restrict projects an arbitrary constraint slice onto the interface
+// variables; see (*System).Restrict. It is used by the polymorphic
+// inference to simplify the constraint fragment captured in a type scheme
+// before storing it.
+func Restrict(set *qual.Set, cons []Constraint, iface []Var) []Constraint {
+	isIface := make(map[Var]bool, len(iface))
+	for _, v := range iface {
+		isIface[v] = true
+	}
+
+	// Per lattice component b, edges are those whose mask includes b.
+	// Reachability through internal variables only; interface variables
+	// terminate the search (paths through them are composed of the kept
+	// edges).
+	type key struct {
+		from, to Var
+	}
+	edgeMask := make(map[key]qual.Elem)
+	lowerIn := make(map[Var]qual.Elem)
+	upperOut := make(map[Var]map[qual.Elem]qual.Elem) // mask component -> bound; see below
+
+	fwd := make(map[Var][]Constraint)
+	rev := make(map[Var][]Constraint)
+	for _, c := range cons {
+		if c.L.isVar {
+			fwd[c.L.v] = append(fwd[c.L.v], c)
+		}
+		if c.R.isVar {
+			rev[c.R.v] = append(rev[c.R.v], c)
+		}
+	}
+
+	nbits := set.Len()
+	for _, x := range iface {
+		for b := 0; b < nbits; b++ {
+			bit := qual.Elem(1) << uint(b)
+			// DFS over bit-b edges from x through internal nodes.
+			seen := map[Var]bool{x: true}
+			stack := []Var{x}
+			for len(stack) > 0 {
+				v := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				for _, c := range fwd[v] {
+					if c.Mask&bit == 0 {
+						continue
+					}
+					if !c.R.isVar {
+						// Constant upper bound: x ⊑ c on component b.
+						m := upperOut[x]
+						if m == nil {
+							m = make(map[qual.Elem]qual.Elem)
+							upperOut[x] = m
+						}
+						// Record the bound restricted to this bit.
+						old, ok := m[bit]
+						if !ok {
+							old = set.Top()
+						}
+						m[bit] = qual.Meet(old, c.R.c|^bit)
+						continue
+					}
+					w := c.R.v
+					if isIface[w] {
+						edgeMask[key{x, w}] |= bit
+						continue
+					}
+					if !seen[w] {
+						seen[w] = true
+						stack = append(stack, w)
+					}
+				}
+			}
+			// Constant lower bounds reaching x on component b: walk the
+			// reverse graph.
+			seenR := map[Var]bool{x: true}
+			stackR := []Var{x}
+			for len(stackR) > 0 {
+				v := stackR[len(stackR)-1]
+				stackR = stackR[:len(stackR)-1]
+				for _, c := range rev[v] {
+					if c.Mask&bit == 0 {
+						continue
+					}
+					if !c.L.isVar {
+						lowerIn[x] = qual.Join(lowerIn[x], c.L.c&bit)
+						continue
+					}
+					w := c.L.v
+					if isIface[w] {
+						continue // covered by the edge from w
+					}
+					if !seenR[w] {
+						seenR[w] = true
+						stackR = append(stackR, w)
+					}
+				}
+			}
+		}
+	}
+
+	why := Reason{Msg: "restricted scheme constraint"}
+	var out []Constraint
+	for k, m := range edgeMask {
+		out = append(out, Constraint{L: V(k.from), R: V(k.to), Mask: m, Why: why})
+	}
+	for v, lo := range lowerIn {
+		if lo != 0 {
+			out = append(out, Constraint{L: C(lo), R: V(v), Mask: lo, Why: why})
+		}
+	}
+	for v, m := range upperOut {
+		for bit, bound := range m {
+			if !qual.LeqMask(set.Top(), bound, bit) {
+				out = append(out, Constraint{L: V(v), R: C(bound), Mask: bit, Why: why})
+			}
+		}
+	}
+	return out
+}

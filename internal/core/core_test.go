@@ -1,0 +1,183 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/eval"
+	"repro/internal/qual"
+)
+
+func TestSpecsComplete(t *testing.T) {
+	specs := Specs()
+	for _, name := range []string{"const", "nonzero", "bindingtime", "taint", "figure2"} {
+		s, ok := specs[name]
+		if !ok {
+			t.Errorf("missing spec %q", name)
+			continue
+		}
+		if s.Set == nil || s.Doc == "" {
+			t.Errorf("spec %q incomplete", name)
+		}
+	}
+	if _, err := Lookup("const"); err != nil {
+		t.Error(err)
+	}
+	if _, err := Lookup("nope"); err == nil {
+		t.Error("Lookup of unknown spec succeeded")
+	}
+}
+
+func TestConstSpecEndToEnd(t *testing.T) {
+	s := ConstSpec()
+	res, err := s.Check("t", "let x = @const ref 1 in x := 2 ni")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Conflicts) == 0 {
+		t.Error("const violation accepted")
+	}
+	res, err = s.Check("t", "let x = ref 1 in x := 2 ni")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Conflicts) != 0 {
+		t.Error("legal program rejected")
+	}
+}
+
+func TestMonoVsPolyCheckers(t *testing.T) {
+	s := ConstSpec()
+	src := `
+		let id = fn x => x in
+		let y = id (ref 1) in
+		let u = y := 2 in
+		let z = id (@const ref 1) in
+		() ni ni ni ni`
+	poly := s.NewChecker()
+	res, err := poly.CheckSource("t", src)
+	if err != nil || len(res.Conflicts) != 0 {
+		t.Errorf("poly checker rejected the id example (err=%v)", err)
+	}
+	mono := s.NewMonoChecker()
+	res, err = mono.CheckSource("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Conflicts) == 0 {
+		t.Error("mono checker accepted the id example")
+	}
+}
+
+func TestSpecRun(t *testing.T) {
+	s := NonzeroSpec()
+	v, err := s.Run("t", "10 / 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := eval.Format(s.Set, v); !strings.Contains(got, "5") {
+		t.Errorf("Run result = %q", got)
+	}
+	// The spec's LitQual is threaded into the runtime semantics: zero
+	// literals lack nonzero at runtime.
+	v, err = s.Run("t", "0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Set.Has(v.L, "nonzero") {
+		t.Error("runtime zero carries nonzero")
+	}
+	v, err = s.Run("t", "7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Set.Has(v.L, "nonzero") {
+		t.Error("runtime 7 lacks nonzero")
+	}
+}
+
+func TestFigure2SpecLattice(t *testing.T) {
+	s := Figure2Spec()
+	if s.Set.Len() != 3 {
+		t.Fatalf("figure2 lattice has %d qualifiers, want 3", s.Set.Len())
+	}
+	if got := len(s.Set.Elems()); got != 8 {
+		t.Errorf("lattice size %d, want 8", got)
+	}
+	// All three rule sets must be active: const assignment…
+	res, err := s.Check("t", "(@const ref 1) := 2")
+	if err != nil || len(res.Conflicts) == 0 {
+		t.Error("figure2 spec lost the const rule")
+	}
+	// …nonzero division…
+	res, err = s.Check("t", "1 / 0")
+	if err != nil || len(res.Conflicts) == 0 {
+		t.Error("figure2 spec lost the nonzero rule")
+	}
+	// …and binding-time propagation.
+	res, err = s.Check("t", "(if @dynamic 1 then 1 else 2 fi) |[^dynamic]")
+	if err != nil || len(res.Conflicts) == 0 {
+		t.Error("figure2 spec lost the binding-time rule")
+	}
+	// And a benign program passes all three at once.
+	res, err = s.Check("t", "let r = ref (@nonzero 6) in 12 / !r ni")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Conflicts) != 0 {
+		t.Errorf("benign program rejected: %v", res.Conflicts[0].Explain(s.Set))
+	}
+}
+
+func TestCustomSpec(t *testing.T) {
+	// A custom positive qualifier needs no extra rules: annotate sources,
+	// assert absence at sinks, and subsumption does the propagation (the
+	// paper's "even without any additional rules on qualifiers, the
+	// qualified type system can be quite useful").
+	s, err := Custom("secret", qual.Qualifier{Name: "secret", Sign: qual.Positive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Check("t", `
+		let publish = fn x => x |[^secret] in
+		publish 5
+		ni`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Conflicts) != 0 {
+		t.Errorf("public data rejected: %v", res.Conflicts[0].Explain(s.Set))
+	}
+	res, err = s.Check("t", `
+		let key = @secret 42 in
+		let publish = fn x => x |[^secret] in
+		publish key
+		ni ni`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Conflicts) == 0 {
+		t.Error("secret data published")
+	}
+	// A custom negative qualifier behaves as an assumption discipline:
+	// with no literal rules everything starts at ⊥ (qualifier present),
+	// matching the paper's trusted "sorted" annotations.
+	neg, err := Custom("sorted", qual.Qualifier{Name: "sorted", Sign: qual.Negative})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = neg.Check("t", `
+		let sort = fn l => @sorted l in
+		let merge = fn l => l |[sorted] in
+		merge (sort 5)
+		ni ni`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Conflicts) != 0 {
+		t.Errorf("sorted pipeline rejected: %v", res.Conflicts[0].Explain(neg.Set))
+	}
+	if _, err := Custom("bad", qual.Qualifier{Name: "", Sign: qual.Positive}); err == nil {
+		t.Error("Custom accepted an invalid qualifier")
+	}
+}

@@ -1,0 +1,39 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Checking the paper's const assignment rule end to end.
+func ExampleSpec_Check() {
+	spec := core.ConstSpec()
+	res, err := spec.Check("example", "let x = @const ref 1 in x := 2 ni")
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("conflicts:", len(res.Conflicts))
+	// Output:
+	// conflicts: 1
+}
+
+// The Section 3.2 identity example: polymorphic qualifier inference
+// accepts what the monomorphic C type system must reject.
+func ExampleSpec_NewMonoChecker() {
+	spec := core.ConstSpec()
+	src := `
+		let id = fn x => x in
+		let y = id (ref 1) in
+		let u = y := 2 in
+		let z = id (@const ref 1) in
+		() ni ni ni ni`
+	poly, _ := spec.NewChecker().CheckSource("ex", src)
+	mono, _ := spec.NewMonoChecker().CheckSource("ex", src)
+	fmt.Println("polymorphic conflicts:", len(poly.Conflicts))
+	fmt.Println("monomorphic conflicts:", len(mono.Conflicts) > 0)
+	// Output:
+	// polymorphic conflicts: 0
+	// monomorphic conflicts: true
+}

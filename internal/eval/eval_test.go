@@ -1,0 +1,452 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/infer"
+	"repro/internal/lambda"
+	"repro/internal/progen"
+	"repro/internal/qual"
+)
+
+func constSet(t testing.TB) *qual.Set {
+	t.Helper()
+	return qual.MustSet(qual.Qualifier{Name: "const", Sign: qual.Positive})
+}
+
+func nzSet(t testing.TB) *qual.Set {
+	t.Helper()
+	return qual.MustSet(qual.Qualifier{Name: "nonzero", Sign: qual.Negative})
+}
+
+func run(t *testing.T, set *qual.Set, lit LitQual, src string) (*TQVal, error) {
+	t.Helper()
+	e, err := lambda.Parse("t", src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return Run(set, lit, e, 0)
+}
+
+func mustInt(t *testing.T, v *TQVal, want int64) {
+	t.Helper()
+	n, ok := v.V.(*TInt)
+	if !ok {
+		t.Fatalf("value %T, want int", v.V)
+	}
+	if n.Val != want {
+		t.Errorf("value = %d, want %d", n.Val, want)
+	}
+}
+
+func TestEvalBasics(t *testing.T) {
+	set := constSet(t)
+	cases := []struct {
+		src  string
+		want int64
+	}{
+		{"42", 42},
+		{"1 + 2", 3},
+		{"2 * 3 + 4", 10},
+		{"10 / 3", 3},
+		{"7 - 2", 5},
+		{"1 == 1", 1},
+		{"1 == 2", 0},
+		{"1 < 2", 1},
+		{"2 < 1", 0},
+		{"if 1 then 10 else 20 fi", 10},
+		{"if 0 then 10 else 20 fi", 20},
+		{"let x = 5 in x + 1 ni", 6},
+		{"(fn x => x + 1) 4", 5},
+		{"!(ref 9)", 9},
+		{"let r = ref 1 in r := 7; !r ni", 7},
+		{"let r = ref 1 in let s = r in s := 3; !r ni ni", 3}, // aliasing
+		{"@const 5", 5},
+		{"5 |[^const]", 5},
+		{"let f = fn x => fn y => x + y in f 3 4 ni", 7}, // currying... f 3 returns closure
+	}
+	for _, c := range cases {
+		v, err := run(t, set, nil, c.src)
+		if err != nil {
+			t.Errorf("eval %q: %v", c.src, err)
+			continue
+		}
+		mustInt(t, v, c.want)
+	}
+}
+
+func TestEvalQualifierSemantics(t *testing.T) {
+	set := constSet(t)
+	// Annotation attaches the qualifier at runtime.
+	v, err := run(t, set, nil, "@const 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !set.Has(v.L, "const") {
+		t.Error("runtime value lacks const after annotation")
+	}
+	// Plain values are at ⊥.
+	v, err = run(t, set, nil, "5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Has(v.L, "const") {
+		t.Error("plain literal carries const")
+	}
+	// Assertion failure: the dynamic check (l2 v)|l1 requires l2 ⊑ l1.
+	_, err = run(t, set, nil, "(@const 5) |[^const]")
+	if err == nil {
+		t.Fatal("assertion on const value passed")
+	}
+	af, ok := err.(*AssertFailure)
+	if !ok {
+		t.Fatalf("error %T, want *AssertFailure", err)
+	}
+	if !set.Has(af.Have, "const") {
+		t.Error("failure does not carry the offending qualifier")
+	}
+	if !strings.Contains(af.Error(), "assertion") {
+		t.Errorf("AssertFailure message: %v", af)
+	}
+}
+
+func TestEvalNegativeQualifier(t *testing.T) {
+	set := nzSet(t)
+	lit := func(s *qual.Set, n int64) qual.Elem {
+		if n == 0 {
+			e, _ := s.Without(s.Bottom(), "nonzero")
+			return e
+		}
+		return s.Bottom()
+	}
+	// Nonzero literal passes the assertion.
+	if _, err := run(t, set, lit, "5 |[nonzero]"); err != nil {
+		t.Errorf("5 |[nonzero]: %v", err)
+	}
+	// Zero fails it.
+	if _, err := run(t, set, lit, "0 |[nonzero]"); err == nil {
+		t.Error("0 |[nonzero] passed")
+	}
+	// Annotation overrides (trusted assumption).
+	if _, err := run(t, set, lit, "(@nonzero (1 - 1)) |[nonzero]"); err != nil {
+		t.Errorf("annotated value failed assertion: %v", err)
+	}
+	// Arithmetic results are ⊥-annotated; with lit they lose nonzero only
+	// via the literal rule, so 1-1 at runtime is ⊥ = nonzero-present...
+	// the static analysis is what rejects the division; the dynamic fault
+	// is DivByZero.
+	_, err := run(t, set, lit, "1 / (1 - 1)")
+	if _, ok := err.(*DivByZero); !ok {
+		t.Errorf("division by zero: got %v", err)
+	}
+}
+
+func TestEvalStuckStates(t *testing.T) {
+	set := constSet(t)
+	cases := []string{
+		"5 6",
+		"!5",
+		"5 := 1",
+		"if () then 1 else 2 fi",
+		"1 + ()",
+		"x",
+	}
+	for _, src := range cases {
+		_, err := run(t, set, nil, src)
+		if err == nil {
+			t.Errorf("eval %q: no error", src)
+			continue
+		}
+		if _, ok := err.(*StuckError); !ok {
+			t.Errorf("eval %q: error %T (%v), want *StuckError", src, err, err)
+		}
+	}
+}
+
+func TestEvalDivergence(t *testing.T) {
+	set := constSet(t)
+	// The classic Ω via self-application through a ref (Landin's knot).
+	src := `
+		let r = ref (fn x => x) in
+		let f = fn x => (!r) x in
+		r := f;
+		f 1
+		ni ni`
+	_, err := run(t, set, nil, src)
+	if _, ok := err.(*Diverged); !ok {
+		t.Errorf("got %v, want *Diverged", err)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	set := constSet(t)
+	for _, src := range []string{"@bogus 5", "5 |[^bogus]", "5 |[bogus]"} {
+		e := lambda.MustParse(src)
+		if _, err := Compile(set, nil, e); err == nil {
+			t.Errorf("Compile(%q) succeeded", src)
+		}
+	}
+}
+
+func TestStoreOps(t *testing.T) {
+	s := NewStore()
+	if s.Len() != 0 {
+		t.Error("new store not empty")
+	}
+	a := s.Alloc(&TQVal{V: &TInt{Val: 1}})
+	if s.Len() != 1 {
+		t.Error("alloc did not grow store")
+	}
+	if v, ok := s.Get(a); !ok || v.V.(*TInt).Val != 1 {
+		t.Error("get after alloc failed")
+	}
+	if !s.Set(a, &TQVal{V: &TInt{Val: 2}}) {
+		t.Error("set of existing cell failed")
+	}
+	if v, _ := s.Get(a); v.V.(*TInt).Val != 2 {
+		t.Error("set did not update")
+	}
+	if s.Set(99, &TQVal{V: &TInt{}}) {
+		t.Error("set of missing cell succeeded")
+	}
+	if _, ok := s.Get(42); ok {
+		t.Error("get of missing cell succeeded")
+	}
+}
+
+func TestFormatValues(t *testing.T) {
+	set := constSet(t)
+	cases := []struct {
+		v    *TQVal
+		want string
+	}{
+		{&TQVal{L: 0, V: &TInt{Val: 5}}, "5"},
+		{&TQVal{L: set.MustElem("const"), V: &TInt{Val: 5}}, "const 5"},
+		{&TQVal{L: 0, V: &TUnit{}}, "()"},
+		{&TQVal{L: 0, V: &TLam{Param: "x"}}, "<fn x>"},
+		{&TQVal{L: 0, V: &TLoc{Addr: 3}}, "loc(3)"},
+	}
+	for _, c := range cases {
+		if got := Format(set, c.v); got != c.want {
+			t.Errorf("Format = %q, want %q", got, c.want)
+		}
+	}
+}
+
+// TestSoundnessConst is the property behind Theorem 1/Corollary 1, tested
+// over randomly generated programs with the const qualifier: every
+// program the qualified type system accepts either evaluates to a value,
+// diverges, or faults arithmetically — it never gets stuck, and its
+// assertions never fail.
+func TestSoundnessConst(t *testing.T) {
+	set := constSet(t)
+	rules := infer.ConstRules(set)
+	g := progen.New(7, progen.DefaultConfig())
+	accepted, rejected := 0, 0
+	for i := 0; i < 3000; i++ {
+		prog := g.Program()
+		c := infer.New(set, rules)
+		res, err := c.Check(nil, prog)
+		if err != nil {
+			t.Fatalf("iteration %d: structural error on generated program %s: %v", i, lambda.Print(prog), err)
+		}
+		if len(res.Conflicts) > 0 {
+			rejected++
+			continue
+		}
+		accepted++
+		_, err = Run(set, nil, prog, 3000)
+		switch err.(type) {
+		case nil, *Diverged, *DivByZero:
+			// Sound outcomes.
+		default:
+			t.Fatalf("iteration %d: accepted program got stuck (%v):\n%s", i, err, lambda.Print(prog))
+		}
+	}
+	if accepted < 100 {
+		t.Errorf("only %d accepted programs out of %d; generator too conservative", accepted, accepted+rejected)
+	}
+	t.Logf("soundness/const: %d accepted, %d rejected", accepted, rejected)
+}
+
+// TestSoundnessNonzero exercises the negative-qualifier side: accepted
+// programs never fail a nonzero assertion at runtime.
+func TestSoundnessNonzero(t *testing.T) {
+	set := nzSet(t)
+	rules := infer.NonzeroRules(set)
+	lit := func(s *qual.Set, n int64) qual.Elem { return rules.LitQual(s, n) }
+	cfg := progen.Config{
+		MaxDepth:      6,
+		NegAnnotate:   []string{"nonzero"},
+		AssertPresent: []string{"nonzero"},
+	}
+	g := progen.New(99, cfg)
+	accepted := 0
+	for i := 0; i < 3000; i++ {
+		prog := g.Program()
+		c := infer.New(set, rules)
+		res, err := c.Check(nil, prog)
+		if err != nil {
+			t.Fatalf("iteration %d: structural error: %v", i, err)
+		}
+		if len(res.Conflicts) > 0 {
+			continue
+		}
+		accepted++
+		_, err = Run(set, lit, prog, 3000)
+		switch err.(type) {
+		case nil, *Diverged, *DivByZero:
+		default:
+			t.Fatalf("iteration %d: accepted program got stuck (%v):\n%s", i, err, lambda.Print(prog))
+		}
+	}
+	if accepted < 100 {
+		t.Errorf("only %d accepted programs; generator too conservative", accepted)
+	}
+}
+
+// TestSubjectReductionTypes: single-step reduction preserves the
+// evaluated result across the static/dynamic boundary — the value of an
+// accepted program carries only qualifiers the static type allows on its
+// top level (the dynamic counterpart of subject reduction).
+func TestSubjectReductionQualifiers(t *testing.T) {
+	set := constSet(t)
+	rules := infer.ConstRules(set)
+	g := progen.New(1234, progen.DefaultConfig())
+	checked := 0
+	for i := 0; i < 2000; i++ {
+		prog := g.Program()
+		c := infer.New(set, rules)
+		res, err := c.Check(nil, prog)
+		if err != nil || len(res.Conflicts) > 0 {
+			continue
+		}
+		v, err := Run(set, nil, prog, 3000)
+		if err != nil {
+			continue
+		}
+		checked++
+		// The runtime qualifier must be within the static upper bound of
+		// the program's top-level qualifier.
+		var bound qual.Elem
+		if res.Type.Q.IsVar() {
+			bound = res.Sys.Upper(res.Type.Q.Var())
+		} else {
+			// Constant qualifiers are exact only as lower bounds; the
+			// runtime value may not exceed any upper bound implied by
+			// subsumption, which for a constant is ⊤.
+			bound = set.Top()
+		}
+		if !qual.Leq(v.L, bound) {
+			t.Fatalf("iteration %d: runtime qualifier %s exceeds static bound %s:\n%s",
+				i, set.Describe(v.L), set.Describe(bound), lambda.Print(prog))
+		}
+	}
+	if checked < 50 {
+		t.Errorf("only %d programs checked", checked)
+	}
+}
+
+func TestLetRecEvaluation(t *testing.T) {
+	set := constSet(t)
+	cases := []struct {
+		src  string
+		want int64
+	}{
+		{"letrec fact = fn n => if n then n * fact (n - 1) else 1 fi in fact 5 ni", 120},
+		{"letrec fib = fn n => if n < 2 then n else fib (n - 1) + fib (n - 2) fi in fib 10 ni", 55},
+		{"letrec sum = fn n => if n then n + sum (n - 1) else 0 fi in sum 100 ni", 5050},
+		// letrec body sees the binding; shadowing works.
+		{"letrec f = fn n => n + 1 in let f = fn n => n * 2 in f 10 ni ni", 20},
+		// Nested letrec.
+		{`letrec outer = fn n =>
+			letrec inner = fn k => if k then k + inner (k - 1) else 0 fi in
+			if n then inner n + outer (n - 1) else 0 fi
+			ni in
+		outer 3 ni`, 10},
+	}
+	for _, c := range cases {
+		v, err := run(t, set, nil, c.src)
+		if err != nil {
+			t.Errorf("eval %q: %v", c.src, err)
+			continue
+		}
+		mustInt(t, v, c.want)
+	}
+}
+
+func TestLetRecDivergence(t *testing.T) {
+	set := constSet(t)
+	_, err := run(t, set, nil, "letrec loop = fn n => loop n in loop 1 ni")
+	if _, ok := err.(*Diverged); !ok {
+		t.Errorf("got %v, want *Diverged", err)
+	}
+}
+
+// TestLetRecSoundness: typed letrec programs with const qualifiers never
+// get stuck.
+func TestLetRecSoundness(t *testing.T) {
+	set := constSet(t)
+	rules := infer.ConstRules(set)
+	programs := []string{
+		`letrec f = fn r => if !r then f r else !r fi in f (@const ref 0) ni`,
+		`letrec g = fn n => if n then g (n - 1) else @const 7 fi in (g 3) |[^const] ni`,
+	}
+	for _, src := range programs {
+		prog := lambda.MustParse(src)
+		c := infer.New(set, rules)
+		res, err := c.Check(nil, prog)
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		accepted := len(res.Conflicts) == 0
+		_, rerr := Run(set, nil, prog, 50000)
+		switch rerr.(type) {
+		case nil, *Diverged, *DivByZero:
+			// fine regardless
+		default:
+			if accepted {
+				t.Errorf("accepted %q got stuck: %v", src, rerr)
+			}
+		}
+	}
+}
+
+func TestErrorStrings(t *testing.T) {
+	if got := (&Diverged{Steps: 7}).Error(); !strings.Contains(got, "7") {
+		t.Errorf("Diverged: %q", got)
+	}
+	if got := (&StuckError{Msg: "boom"}).Error(); !strings.Contains(got, "boom") {
+		t.Errorf("StuckError: %q", got)
+	}
+	if got := (&DivByZero{}).Error(); !strings.Contains(got, "zero") {
+		t.Errorf("DivByZero: %q", got)
+	}
+	ce := &CompileError{Pos: lambda.Pos{File: "f", Line: 1, Col: 2}, Msg: "bad"}
+	if got := ce.Error(); !strings.Contains(got, "f:1:2") || !strings.Contains(got, "bad") {
+		t.Errorf("CompileError: %q", got)
+	}
+}
+
+func TestStepOnValuePanicsGracefully(t *testing.T) {
+	set := constSet(t)
+	s := NewStore()
+	v := &TQVal{V: &TInt{Val: 1}}
+	if _, err := s.Step(v); err == nil {
+		t.Error("stepping a value succeeded")
+	}
+	_ = set
+}
+
+func TestDanglingLocation(t *testing.T) {
+	s := NewStore()
+	// A location never allocated: deref and assign are stuck.
+	loc := &TQVal{V: &TLoc{Addr: 99}}
+	if _, err := s.Step(&TDeref{E: loc}); err == nil {
+		t.Error("deref of dangling location succeeded")
+	}
+	if _, err := s.Step(&TAssign{Lhs: loc, Rhs: &TQVal{V: &TInt{}}}); err == nil {
+		t.Error("assign to dangling location succeeded")
+	}
+}

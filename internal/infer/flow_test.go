@@ -1,0 +1,183 @@
+package infer
+
+import (
+	"testing"
+
+	"repro/internal/constraint"
+	"repro/internal/qual"
+)
+
+// The flow-sensitivity tests model the lclint-style "definitely
+// initialized" discipline the paper's Section 6 motivates: a positive
+// qualifier uninit marks possibly-uninitialized storage; declarations
+// start uninit, strong updates clear it, weak updates and joins keep it,
+// and uses assert ^uninit.
+func uninitSetup(t *testing.T) (*qual.Set, *constraint.System, *Flow, qual.Elem, qual.Elem) {
+	t.Helper()
+	set := qual.MustSet(qual.Qualifier{Name: "uninit", Sign: qual.Positive})
+	sys := constraint.NewSystem(set)
+	return set, sys, NewFlow(sys), set.MustOnly("uninit"), set.MustNot("uninit")
+}
+
+func fresh(sys *constraint.System) constraint.Term {
+	return constraint.V(sys.Fresh())
+}
+
+func TestFlowUseBeforeInit(t *testing.T) {
+	_, sys, f, uninit, notUninit := uninitSetup(t)
+	f.Declare("x", uninit, constraint.Reason{Msg: "declare x"})
+	if err := f.Assert("x", notUninit, constraint.Reason{Msg: "use x"}); err != nil {
+		t.Fatal(err)
+	}
+	if errs := sys.Solve(); len(errs) == 0 {
+		t.Error("use of uninitialized location accepted")
+	}
+}
+
+func TestFlowStrongUpdateClears(t *testing.T) {
+	_, sys, f, uninit, notUninit := uninitSetup(t)
+	f.Declare("x", uninit, constraint.Reason{Msg: "declare x"})
+	if err := f.StrongUpdate("x", fresh(sys), constraint.Reason{Msg: "x = 1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Assert("x", notUninit, constraint.Reason{Msg: "use x"}); err != nil {
+		t.Fatal(err)
+	}
+	if errs := sys.Solve(); len(errs) != 0 {
+		t.Errorf("strong update did not clear uninit: %v", errs[0])
+	}
+}
+
+func TestFlowWeakUpdateKeeps(t *testing.T) {
+	_, sys, f, uninit, notUninit := uninitSetup(t)
+	f.Declare("x", uninit, constraint.Reason{Msg: "declare x"})
+	// A write through a may-alias is weak: the old point survives.
+	if err := f.WeakUpdate("x", fresh(sys), constraint.Reason{Msg: "*p = 1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Assert("x", notUninit, constraint.Reason{Msg: "use x"}); err != nil {
+		t.Fatal(err)
+	}
+	if errs := sys.Solve(); len(errs) == 0 {
+		t.Error("weak update cleared uninit")
+	}
+}
+
+func TestFlowSensitivityVsInsensitivity(t *testing.T) {
+	// x is used only AFTER its definite assignment: flow-sensitively
+	// fine, and the same constraints made flow-insensitive (one variable
+	// for all points) would be rejected — the paper's motivating gap.
+	_, sys, f, uninit, notUninit := uninitSetup(t)
+	f.Declare("x", uninit, constraint.Reason{})
+	if err := f.StrongUpdate("x", fresh(sys), constraint.Reason{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Assert("x", notUninit, constraint.Reason{}); err != nil {
+		t.Fatal(err)
+	}
+	if errs := sys.Solve(); len(errs) != 0 {
+		t.Errorf("flow-sensitive analysis rejected the correct program: %v", errs[0])
+	}
+
+	// Flow-insensitive rendering of the same program: declaration bound
+	// and assertion on one variable.
+	set2 := qual.MustSet(qual.Qualifier{Name: "uninit", Sign: qual.Positive})
+	sys2 := constraint.NewSystem(set2)
+	x := sys2.Fresh()
+	sys2.Add(constraint.C(set2.MustOnly("uninit")), constraint.V(x), constraint.Reason{})
+	sys2.Add(constraint.V(x), constraint.C(set2.MustNot("uninit")), constraint.Reason{})
+	if errs := sys2.Solve(); len(errs) == 0 {
+		t.Error("flow-insensitive version unexpectedly accepted")
+	}
+}
+
+func TestFlowBranchJoin(t *testing.T) {
+	_, sys, f, uninit, notUninit := uninitSetup(t)
+	f.Declare("x", uninit, constraint.Reason{})
+
+	// if (...) x = 1; else <nothing>; use x  — must be rejected.
+	thenBr := f.Fork()
+	if err := thenBr.StrongUpdate("x", fresh(sys), constraint.Reason{Msg: "then"}); err != nil {
+		t.Fatal(err)
+	}
+	elseBr := f.Fork()
+	thenBr.Join(elseBr, constraint.Reason{Msg: "join"})
+	if err := thenBr.Assert("x", notUninit, constraint.Reason{Msg: "use"}); err != nil {
+		t.Fatal(err)
+	}
+	if errs := sys.Solve(); len(errs) == 0 {
+		t.Error("partially-initialized location accepted after join")
+	}
+}
+
+func TestFlowBothBranchesInitialize(t *testing.T) {
+	_, sys, f, uninit, notUninit := uninitSetup(t)
+	f.Declare("x", uninit, constraint.Reason{})
+	thenBr := f.Fork()
+	if err := thenBr.StrongUpdate("x", fresh(sys), constraint.Reason{}); err != nil {
+		t.Fatal(err)
+	}
+	elseBr := f.Fork()
+	if err := elseBr.StrongUpdate("x", fresh(sys), constraint.Reason{}); err != nil {
+		t.Fatal(err)
+	}
+	thenBr.Join(elseBr, constraint.Reason{})
+	if err := thenBr.Assert("x", notUninit, constraint.Reason{}); err != nil {
+		t.Fatal(err)
+	}
+	if errs := sys.Solve(); len(errs) != 0 {
+		t.Errorf("both-branch initialization rejected: %v", errs[0])
+	}
+}
+
+func TestFlowJoinUntouchedLocation(t *testing.T) {
+	_, sys, f, uninit, _ := uninitSetup(t)
+	f.Declare("x", uninit, constraint.Reason{})
+	a := f.Fork()
+	b := f.Fork()
+	a.Join(b, constraint.Reason{})
+	// Untouched in both branches: the point is unchanged, no fresh var.
+	ta, _ := a.Use("x")
+	tf, _ := f.Use("x")
+	if ta != tf {
+		t.Error("join of untouched location created a new point")
+	}
+	_ = sys
+}
+
+func TestFlowLoopWiden(t *testing.T) {
+	_, sys, f, uninit, notUninit := uninitSetup(t)
+	f.Declare("x", uninit, constraint.Reason{})
+	f.Declare("y", uninit, constraint.Reason{})
+	// while (...) { x = 1; use y }  — y's use inside the loop is an
+	// error; x after the loop is only weakly initialized (the loop may
+	// run zero times).
+	entry := f.Fork()
+	body := f.Fork()
+	if err := body.StrongUpdate("x", fresh(sys), constraint.Reason{Msg: "x = 1"}); err != nil {
+		t.Fatal(err)
+	}
+	body.Widen(entry, constraint.Reason{Msg: "loop back-edge"})
+	if err := body.Assert("x", notUninit, constraint.Reason{Msg: "use x after loop"}); err != nil {
+		t.Fatal(err)
+	}
+	if errs := sys.Solve(); len(errs) == 0 {
+		t.Error("zero-iteration loop treated as definite initialization")
+	}
+}
+
+func TestFlowErrors(t *testing.T) {
+	_, sys, f, _, notUninit := uninitSetup(t)
+	if _, err := f.Use("nope"); err == nil {
+		t.Error("Use of undeclared location succeeded")
+	}
+	if err := f.Assert("nope", notUninit, constraint.Reason{}); err == nil {
+		t.Error("Assert on undeclared location succeeded")
+	}
+	if err := f.StrongUpdate("nope", fresh(sys), constraint.Reason{}); err == nil {
+		t.Error("StrongUpdate on undeclared location succeeded")
+	}
+	if err := f.WeakUpdate("nope", fresh(sys), constraint.Reason{}); err == nil {
+		t.Error("WeakUpdate on undeclared location succeeded")
+	}
+}

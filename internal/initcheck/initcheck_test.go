@@ -1,0 +1,248 @@
+package initcheck
+
+import (
+	"strings"
+	"testing"
+)
+
+func check(t *testing.T, src string) []Warning {
+	t.Helper()
+	ws, err := CheckSource("test.c", src)
+	if err != nil {
+		t.Fatalf("CheckSource: %v", err)
+	}
+	return ws
+}
+
+func warnedVars(ws []Warning) map[string]bool {
+	out := map[string]bool{}
+	for _, w := range ws {
+		out[w.Var] = true
+	}
+	return out
+}
+
+func TestUseBeforeInit(t *testing.T) {
+	ws := check(t, `
+		int f(void) {
+			int x;
+			return x;
+		}`)
+	if !warnedVars(ws)["x"] {
+		t.Errorf("no warning for x: %v", ws)
+	}
+	if !strings.Contains(ws[0].String(), "uninitialized") || !strings.Contains(ws[0].String(), "test.c:4") {
+		t.Errorf("warning text: %s", ws[0])
+	}
+}
+
+func TestInitializedUses(t *testing.T) {
+	ws := check(t, `
+		int f(int p) {
+			int a = 1;
+			int b;
+			b = p + a;
+			return a + b + p;
+		}`)
+	if len(ws) != 0 {
+		t.Errorf("false positives: %v", ws)
+	}
+}
+
+func TestBranchPartialInit(t *testing.T) {
+	ws := check(t, `
+		int f(int c) {
+			int x;
+			if (c)
+				x = 1;
+			return x;
+		}`)
+	if !warnedVars(ws)["x"] {
+		t.Errorf("partial initialization not caught: %v", ws)
+	}
+	// Both branches initializing is fine.
+	ws = check(t, `
+		int g(int c) {
+			int x;
+			if (c)
+				x = 1;
+			else
+				x = 2;
+			return x;
+		}`)
+	if len(ws) != 0 {
+		t.Errorf("false positive after full branch init: %v", ws)
+	}
+}
+
+func TestUseInsideBranchAfterInitThere(t *testing.T) {
+	// Flow-sensitivity: the use is in the same branch as the definite
+	// assignment, which a flow-insensitive qualifier could not express.
+	ws := check(t, `
+		int f(int c) {
+			int x;
+			if (c) {
+				x = 5;
+				return x;
+			}
+			return 0;
+		}`)
+	if len(ws) != 0 {
+		t.Errorf("false positive inside initializing branch: %v", ws)
+	}
+}
+
+func TestLoopMayRunZeroTimes(t *testing.T) {
+	ws := check(t, `
+		int f(int n) {
+			int x;
+			int i;
+			for (i = 0; i < n; i++)
+				x = i;
+			return x;
+		}`)
+	if !warnedVars(ws)["x"] {
+		t.Errorf("zero-iteration loop init not caught: %v", ws)
+	}
+	if warnedVars(ws)["i"] {
+		t.Errorf("false positive on the loop counter: %v", ws)
+	}
+}
+
+func TestWhileConditionUse(t *testing.T) {
+	ws := check(t, `
+		int f(void) {
+			int x;
+			while (x < 10)
+				x = 10;
+			return 0;
+		}`)
+	if !warnedVars(ws)["x"] {
+		t.Errorf("use in loop condition not caught: %v", ws)
+	}
+}
+
+func TestCompoundAssignReadsFirst(t *testing.T) {
+	ws := check(t, `
+		int f(void) {
+			int x;
+			x += 1;
+			return x;
+		}`)
+	if !warnedVars(ws)["x"] {
+		t.Errorf("compound assignment read not caught: %v", ws)
+	}
+	// Increment of uninitialized.
+	ws = check(t, `
+		int g(void) {
+			int x;
+			x++;
+			return x;
+		}`)
+	if !warnedVars(ws)["x"] {
+		t.Errorf("postfix increment read not caught: %v", ws)
+	}
+}
+
+func TestAddressTakenUntracked(t *testing.T) {
+	// &x passed out: the callee may initialize it; conservatively silent.
+	ws := check(t, `
+		extern void fill(int *p);
+		int f(void) {
+			int x;
+			fill(&x);
+			return x;
+		}`)
+	if warnedVars(ws)["x"] {
+		t.Errorf("address-taken variable warned: %v", ws)
+	}
+}
+
+func TestStaticsAndParamsUntracked(t *testing.T) {
+	ws := check(t, `
+		int f(int p) {
+			static int s;
+			return s + p;
+		}`)
+	if len(ws) != 0 {
+		t.Errorf("statics/params warned: %v", ws)
+	}
+}
+
+func TestConditionalExpressionJoin(t *testing.T) {
+	ws := check(t, `
+		int f(int c) {
+			int x;
+			int y = c ? 1 : 2;
+			x = y;
+			return x;
+		}`)
+	if len(ws) != 0 {
+		t.Errorf("false positives around ?:: %v", ws)
+	}
+}
+
+func TestMultipleFunctions(t *testing.T) {
+	ws := check(t, `
+		int ok(void) { int a = 1; return a; }
+		int bad1(void) { int b; return b; }
+		int bad2(void) { int c; return c + 1; }`)
+	vars := warnedVars(ws)
+	if !vars["b"] || !vars["c"] || vars["a"] {
+		t.Errorf("warnings: %v", ws)
+	}
+	// Sorted by position.
+	for i := 1; i < len(ws); i++ {
+		if ws[i].Pos.Line < ws[i-1].Pos.Line {
+			t.Error("warnings not sorted")
+		}
+	}
+}
+
+func TestSwitchConservative(t *testing.T) {
+	// Initialization inside a switch is treated as partial (cases may be
+	// skipped).
+	ws := check(t, `
+		int f(int c) {
+			int x;
+			switch (c) {
+			case 1: x = 1; break;
+			default: x = 2; break;
+			}
+			return x;
+		}`)
+	// Conservative: a warning here is acceptable (the simple model cannot
+	// prove exhaustiveness); what must not happen is a crash or a missing
+	// warning for the clearly-broken variant below.
+	_ = ws
+	ws = check(t, `
+		int g(int c) {
+			int x;
+			switch (c) {
+			case 1: break;
+			}
+			return x;
+		}`)
+	if !warnedVars(ws)["x"] {
+		t.Errorf("switch with no init not caught: %v", ws)
+	}
+}
+
+func TestPointerLocalsTracked(t *testing.T) {
+	ws := check(t, `
+		char *f(int c) {
+			char *p;
+			if (c)
+				p = "yes";
+			return p;
+		}`)
+	if !warnedVars(ws)["p"] {
+		t.Errorf("uninitialized pointer not caught: %v", ws)
+	}
+}
+
+func TestParseErrorPropagates(t *testing.T) {
+	if _, err := CheckSource("bad.c", "int f( {"); err == nil {
+		t.Error("parse error not propagated")
+	}
+}

@@ -1,0 +1,77 @@
+package progen
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/lambda"
+	"repro/internal/qtype"
+)
+
+func TestDeterministic(t *testing.T) {
+	a := New(5, DefaultConfig())
+	b := New(5, DefaultConfig())
+	for i := 0; i < 50; i++ {
+		pa, pb := a.Program(), b.Program()
+		if !lambda.Equal(pa, pb) {
+			t.Fatalf("iteration %d: generators diverged", i)
+		}
+	}
+}
+
+// TestGeneratedProgramsAreSimplyTyped: type-directed generation never
+// produces a standard type error — only qualifier conflicts are possible.
+func TestGeneratedProgramsAreSimplyTyped(t *testing.T) {
+	spec := core.ConstSpec()
+	g := New(11, DefaultConfig())
+	for i := 0; i < 2000; i++ {
+		prog := g.Program()
+		c := spec.NewChecker()
+		if _, err := c.Check(nil, prog); err != nil {
+			t.Fatalf("iteration %d: structural error: %v\n%s", i, err, lambda.Print(prog))
+		}
+	}
+}
+
+func TestGeneratedProgramsRoundTrip(t *testing.T) {
+	g := New(13, DefaultConfig())
+	for i := 0; i < 500; i++ {
+		prog := g.Program()
+		src := lambda.Print(prog)
+		back, err := lambda.Parse("gen", src)
+		if err != nil {
+			t.Fatalf("iteration %d: %v\n%s", i, err, src)
+		}
+		if !lambda.Equal(prog, back) {
+			t.Fatalf("iteration %d: round trip mismatch\n%s", i, src)
+		}
+	}
+}
+
+func TestProgramOfTypes(t *testing.T) {
+	spec := core.ConstSpec()
+	g := New(17, DefaultConfig())
+	wants := map[Typ]string{
+		TInt:       "int",
+		TUnit:      "unit",
+		TRefInt:    "ref(int)",
+		TFunIntInt: "(int → int)",
+	}
+	for typ, want := range wants {
+		prog := g.ProgramOf(typ)
+		c := spec.NewChecker()
+		qt, err := c.Infer(nil, prog)
+		if err != nil {
+			t.Fatalf("%v: %v", typ, err)
+		}
+		if got := qtype.Strip(qt).String(); got != want {
+			t.Errorf("ProgramOf(%v) has type %s, want %s", typ, got, want)
+		}
+		if typ.String() == "" {
+			t.Error("empty Typ string")
+		}
+	}
+	if Typ(99).String() == "" {
+		t.Error("unknown Typ string empty")
+	}
+}

@@ -1,0 +1,40 @@
+package qual_test
+
+import (
+	"fmt"
+
+	"repro/internal/qual"
+)
+
+// The qualifier lattice of the paper's Figure 2: positive const and
+// dynamic, negative nonzero.
+func ExampleSet() {
+	set := qual.MustSet(
+		qual.Qualifier{Name: "const", Sign: qual.Positive},
+		qual.Qualifier{Name: "dynamic", Sign: qual.Positive},
+		qual.Qualifier{Name: "nonzero", Sign: qual.Negative},
+	)
+	fmt.Println("⊥ =", set.String(set.Bottom()))
+	fmt.Println("⊤ =", set.String(set.Top()))
+	a := set.MustElem("const", "nonzero")
+	b := set.MustElem("const")
+	fmt.Println("const nonzero ⊑ const:", qual.Leq(a, b))
+	// Moving up the lattice adds positive qualifiers and removes
+	// negative ones, so the join loses nonzero.
+	fmt.Println("join:", set.String(qual.Join(a, set.MustElem("dynamic"))))
+	// Output:
+	// ⊥ = nonzero
+	// ⊤ = const dynamic
+	// const nonzero ⊑ const: true
+	// join: const dynamic
+}
+
+func ExampleSet_Not() {
+	set := qual.MustSet(qual.Qualifier{Name: "const", Sign: qual.Positive})
+	notConst := set.MustNot("const")
+	fmt.Println("plain ⊑ ¬const:", qual.Leq(set.MustElem(), notConst))
+	fmt.Println("const ⊑ ¬const:", qual.Leq(set.MustElem("const"), notConst))
+	// Output:
+	// plain ⊑ ¬const: true
+	// const ⊑ ¬const: false
+}

@@ -1,0 +1,427 @@
+package qual
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// fig2 is the qualifier set of Figure 2 in the paper: positive const and
+// dynamic, negative nonzero.
+func fig2(t *testing.T) *Set {
+	t.Helper()
+	s, err := NewSet(
+		Qualifier{Name: "const", Sign: Positive},
+		Qualifier{Name: "dynamic", Sign: Positive},
+		Qualifier{Name: "nonzero", Sign: Negative},
+	)
+	if err != nil {
+		t.Fatalf("NewSet: %v", err)
+	}
+	return s
+}
+
+func TestNewSetErrors(t *testing.T) {
+	if _, err := NewSet(Qualifier{Name: "", Sign: Positive}); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := NewSet(
+		Qualifier{Name: "const", Sign: Positive},
+		Qualifier{Name: "const", Sign: Negative},
+	); err == nil {
+		t.Error("duplicate name accepted")
+	}
+	if _, err := NewSet(Qualifier{Name: "x", Sign: Sign(7)}); err == nil {
+		t.Error("invalid sign accepted")
+	}
+	many := make([]Qualifier, MaxQualifiers+1)
+	for i := range many {
+		many[i] = Qualifier{Name: strings.Repeat("q", i+1), Sign: Positive}
+	}
+	if _, err := NewSet(many...); err == nil {
+		t.Error("too many qualifiers accepted")
+	}
+}
+
+func TestMustSetPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustSet did not panic on invalid input")
+		}
+	}()
+	MustSet(Qualifier{Name: "", Sign: Positive})
+}
+
+func TestExactly64Qualifiers(t *testing.T) {
+	quals := make([]Qualifier, 64)
+	for i := range quals {
+		quals[i] = Qualifier{Name: strings.Repeat("q", i+1), Sign: Positive}
+	}
+	s, err := NewSet(quals...)
+	if err != nil {
+		t.Fatalf("NewSet with 64 qualifiers: %v", err)
+	}
+	if s.Top() != Elem(^uint64(0)) {
+		t.Errorf("Top = %x, want all ones", uint64(s.Top()))
+	}
+	if !Leq(s.Bottom(), s.Top()) {
+		t.Error("⊥ ⊑ ⊤ fails at width 64")
+	}
+}
+
+func TestBottomTopOrdering(t *testing.T) {
+	s := fig2(t)
+	for _, e := range s.Elems() {
+		if !Leq(s.Bottom(), e) {
+			t.Errorf("⊥ ⊑ %s fails", s.Describe(e))
+		}
+		if !Leq(e, s.Top()) {
+			t.Errorf("%s ⊑ ⊤ fails", s.Describe(e))
+		}
+	}
+}
+
+func TestSignSemantics(t *testing.T) {
+	s := fig2(t)
+	// Bottom: positive qualifiers absent, negative present.
+	if s.Has(s.Bottom(), "const") || s.Has(s.Bottom(), "dynamic") {
+		t.Error("positive qualifier present at ⊥")
+	}
+	if !s.Has(s.Bottom(), "nonzero") {
+		t.Error("negative qualifier absent at ⊥")
+	}
+	// Top: positive present, negative absent.
+	if !s.Has(s.Top(), "const") || !s.Has(s.Top(), "dynamic") {
+		t.Error("positive qualifier absent at ⊤")
+	}
+	if s.Has(s.Top(), "nonzero") {
+		t.Error("negative qualifier present at ⊤")
+	}
+	// Moving up the lattice adds positive qualifiers and removes negative
+	// ones (paper, discussion of Figure 2).
+	nz := s.MustElem("nonzero")
+	plain := s.MustElem()
+	if !Leq(nz, plain) {
+		t.Error("nonzero int ⋢ int: negative qualifier must lower the element")
+	}
+	cst := s.MustElem("const")
+	if !Leq(plain, cst) {
+		t.Error("int ⋢ const int: positive qualifier must raise the element")
+	}
+}
+
+func TestElemHasRoundTrip(t *testing.T) {
+	s := fig2(t)
+	cases := [][]string{
+		{},
+		{"const"},
+		{"dynamic"},
+		{"nonzero"},
+		{"const", "nonzero"},
+		{"const", "dynamic"},
+		{"dynamic", "nonzero"},
+		{"const", "dynamic", "nonzero"},
+	}
+	for _, present := range cases {
+		e, err := s.Elem(present...)
+		if err != nil {
+			t.Fatalf("Elem(%v): %v", present, err)
+		}
+		for _, q := range s.Qualifiers() {
+			want := false
+			for _, p := range present {
+				if p == q.Name {
+					want = true
+				}
+			}
+			if got := s.Has(e, q.Name); got != want {
+				t.Errorf("Elem(%v): Has(%q) = %v, want %v", present, q.Name, got, want)
+			}
+		}
+	}
+}
+
+func TestElemUnknown(t *testing.T) {
+	s := fig2(t)
+	if _, err := s.Elem("volatile"); err == nil {
+		t.Error("unknown qualifier accepted by Elem")
+	}
+	if _, err := s.With(0, "volatile"); err == nil {
+		t.Error("unknown qualifier accepted by With")
+	}
+	if _, err := s.Without(0, "volatile"); err == nil {
+		t.Error("unknown qualifier accepted by Without")
+	}
+	if _, err := s.Mask("volatile"); err == nil {
+		t.Error("unknown qualifier accepted by Mask")
+	}
+	if s.Has(0, "volatile") {
+		t.Error("Has reports unknown qualifier present")
+	}
+}
+
+func TestWithWithout(t *testing.T) {
+	s := fig2(t)
+	for _, e := range s.Elems() {
+		for _, q := range s.Qualifiers() {
+			w, err := s.With(e, q.Name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !s.Has(w, q.Name) {
+				t.Errorf("With(%s, %s) lacks %s", s.Describe(e), q.Name, q.Name)
+			}
+			wo, err := s.Without(e, q.Name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s.Has(wo, q.Name) {
+				t.Errorf("Without(%s, %s) still has %s", s.Describe(e), q.Name, q.Name)
+			}
+			// With must move up for positive qualifiers and down for
+			// negative ones; Without the reverse.
+			if q.Sign == Positive {
+				if !Leq(e, w) || !Leq(wo, e) {
+					t.Errorf("positive With/Without not monotone at %s", s.Describe(e))
+				}
+			} else {
+				if !Leq(w, e) || !Leq(e, wo) {
+					t.Errorf("negative With/Without not antitone at %s", s.Describe(e))
+				}
+			}
+		}
+	}
+}
+
+func TestNotOnly(t *testing.T) {
+	s := fig2(t)
+	nc := s.MustNot("const")
+	if s.Has(nc, "const") {
+		t.Error("¬const has const")
+	}
+	// ¬const must be the greatest element without const: every element
+	// lacking const is ⊑ ¬const.
+	for _, e := range s.Elems() {
+		if !s.Has(e, "const") && !Leq(e, nc) {
+			t.Errorf("%s lacks const but ⋢ ¬const", s.Describe(e))
+		}
+		if s.Has(e, "const") && Leq(e, nc) {
+			t.Errorf("%s has const but ⊑ ¬const", s.Describe(e))
+		}
+	}
+	oc := s.MustOnly("const")
+	for _, e := range s.Elems() {
+		if s.Has(e, "const") && !Leq(oc, e) {
+			t.Errorf("%s has const but ⋣ only-const", s.Describe(e))
+		}
+		if !s.Has(e, "const") && Leq(oc, e) {
+			t.Errorf("%s lacks const but ⊒ only-const", s.Describe(e))
+		}
+	}
+	// For a negative qualifier, ¬q degenerates to ⊤ and Require(q) plays
+	// the bounding role: e ⊑ Require(nonzero) iff e has nonzero.
+	if s.MustNot("nonzero") != s.Top() {
+		t.Error("¬nonzero must be ⊤ for a negative qualifier")
+	}
+	rnz := s.MustRequire("nonzero")
+	for _, e := range s.Elems() {
+		if s.Has(e, "nonzero") != Leq(e, rnz) {
+			t.Errorf("Require(nonzero) misclassifies %s", s.Describe(e))
+		}
+	}
+	// And Require degenerates to ⊤ for a positive qualifier.
+	if s.MustRequire("const") != s.Top() {
+		t.Error("Require(const) must be ⊤ for a positive qualifier")
+	}
+}
+
+func TestLatticeLaws(t *testing.T) {
+	s := fig2(t)
+	elems := s.Elems()
+	for _, a := range elems {
+		if !Leq(a, a) {
+			t.Fatalf("reflexivity fails at %s", s.Describe(a))
+		}
+		for _, b := range elems {
+			if Leq(a, b) && Leq(b, a) && a != b {
+				t.Fatalf("antisymmetry fails at %s, %s", s.Describe(a), s.Describe(b))
+			}
+			j, m := Join(a, b), Meet(a, b)
+			if !Leq(a, j) || !Leq(b, j) {
+				t.Fatalf("join not an upper bound for %s, %s", s.Describe(a), s.Describe(b))
+			}
+			if !Leq(m, a) || !Leq(m, b) {
+				t.Fatalf("meet not a lower bound for %s, %s", s.Describe(a), s.Describe(b))
+			}
+			for _, c := range elems {
+				if Leq(a, b) && Leq(b, c) && !Leq(a, c) {
+					t.Fatalf("transitivity fails")
+				}
+				if Leq(a, c) && Leq(b, c) && !Leq(j, c) {
+					t.Fatalf("join not least upper bound")
+				}
+				if Leq(c, a) && Leq(c, b) && !Leq(c, m) {
+					t.Fatalf("meet not greatest lower bound")
+				}
+			}
+		}
+	}
+}
+
+func TestLatticeLawsQuick(t *testing.T) {
+	mask := uint64(1)<<16 - 1
+	assoc := func(a, b, c uint64) bool {
+		x, y, z := Elem(a&mask), Elem(b&mask), Elem(c&mask)
+		return Join(Join(x, y), z) == Join(x, Join(y, z)) &&
+			Meet(Meet(x, y), z) == Meet(x, Meet(y, z))
+	}
+	if err := quick.Check(assoc, nil); err != nil {
+		t.Error(err)
+	}
+	absorb := func(a, b uint64) bool {
+		x, y := Elem(a&mask), Elem(b&mask)
+		return Join(x, Meet(x, y)) == x && Meet(x, Join(x, y)) == x
+	}
+	if err := quick.Check(absorb, nil); err != nil {
+		t.Error(err)
+	}
+	orderFromOps := func(a, b uint64) bool {
+		x, y := Elem(a&mask), Elem(b&mask)
+		return Leq(x, y) == (Join(x, y) == y) && Leq(x, y) == (Meet(x, y) == x)
+	}
+	if err := quick.Check(orderFromOps, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLeqMask(t *testing.T) {
+	s := fig2(t)
+	dyn := s.MustMask("dynamic")
+	a := s.MustElem("const", "dynamic")
+	b := s.MustElem("dynamic", "nonzero")
+	if Leq(a, b) {
+		t.Fatal("precondition: a ⋢ b in the full lattice")
+	}
+	if !LeqMask(a, b, dyn) {
+		t.Error("a ⊑ b must hold restricted to the dynamic component")
+	}
+	c := s.MustElem("const")
+	if LeqMask(a, c, dyn) {
+		t.Error("dynamic component of a must exceed that of c")
+	}
+}
+
+func TestStringAndDescribe(t *testing.T) {
+	s := fig2(t)
+	e := s.MustElem("const", "nonzero")
+	if got := s.String(e); got != "const nonzero" {
+		t.Errorf("String = %q, want %q", got, "const nonzero")
+	}
+	if got := s.String(s.MustElem()); got != "" {
+		t.Errorf("String(no qualifiers) = %q, want empty", got)
+	}
+	d := s.Describe(e)
+	for _, want := range []string{"const", "¬dynamic", "nonzero"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("Describe = %q missing %q", d, want)
+		}
+	}
+	empty := MustSet()
+	if got := empty.Describe(0); got != "{}" {
+		t.Errorf("empty set Describe = %q", got)
+	}
+}
+
+func TestParse(t *testing.T) {
+	s := fig2(t)
+	e, err := s.Parse("  const   nonzero ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e != s.MustElem("const", "nonzero") {
+		t.Errorf("Parse mismatch: %s", s.Describe(e))
+	}
+	if _, err := s.Parse("const bogus"); err == nil {
+		t.Error("Parse accepted unknown qualifier")
+	}
+	if e, err := s.Parse(""); err != nil || e != s.MustElem() {
+		t.Errorf("Parse(\"\") = %v, %v", e, err)
+	}
+}
+
+func TestElemsOrderedByRank(t *testing.T) {
+	s := fig2(t)
+	elems := s.Elems()
+	if len(elems) != 8 {
+		t.Fatalf("Elems returned %d elements, want 8", len(elems))
+	}
+	seen := make(map[Elem]bool)
+	for i, e := range elems {
+		if seen[e] {
+			t.Fatalf("duplicate element at %d", i)
+		}
+		seen[e] = true
+		// Topological: no later element may be strictly below an earlier one.
+		for _, f := range elems[:i] {
+			if Leq(e, f) && e != f {
+				t.Errorf("element %s appears after %s but is below it", s.Describe(e), s.Describe(f))
+			}
+		}
+	}
+}
+
+func TestCovers(t *testing.T) {
+	s := fig2(t)
+	elems := s.Elems()
+	for _, a := range elems {
+		for _, b := range elems {
+			// Brute-force covering relation.
+			want := a != b && Leq(a, b)
+			if want {
+				for _, c := range elems {
+					if c != a && c != b && Leq(a, c) && Leq(c, b) {
+						want = false
+					}
+				}
+			}
+			if got := Covers(a, b); got != want {
+				t.Errorf("Covers(%s, %s) = %v, want %v", s.Describe(a), s.Describe(b), got, want)
+			}
+		}
+	}
+}
+
+// TestFigure2Lattice checks the structure of the paper's Figure 2: the
+// lattice over {const, dynamic, nonzero} has 8 elements, 12 covering
+// edges, bottom "nonzero" and top "const dynamic".
+func TestFigure2Lattice(t *testing.T) {
+	s := fig2(t)
+	if got := len(s.Elems()); got != 8 {
+		t.Errorf("lattice size = %d, want 8", got)
+	}
+	edges := s.HasseEdges()
+	if len(edges) != 12 {
+		t.Errorf("Hasse edge count = %d, want 12 (cube)", len(edges))
+	}
+	if got := s.String(s.Bottom()); got != "nonzero" {
+		t.Errorf("⊥ = %q, want %q", got, "nonzero")
+	}
+	if got := s.String(s.Top()); got != "const dynamic" {
+		t.Errorf("⊤ = %q, want %q", got, "const dynamic")
+	}
+	diagram := s.HasseDiagram()
+	for _, want := range []string{"rank 3", "rank 0: nonzero", "const dynamic", "covers:"} {
+		if !strings.Contains(diagram, want) {
+			t.Errorf("HasseDiagram missing %q:\n%s", want, diagram)
+		}
+	}
+}
+
+func TestSignString(t *testing.T) {
+	if Positive.String() != "positive" || Negative.String() != "negative" {
+		t.Error("Sign.String mismatch")
+	}
+	if got := Sign(9).String(); !strings.Contains(got, "9") {
+		t.Errorf("unknown sign string = %q", got)
+	}
+}

@@ -1,0 +1,77 @@
+package tables
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := New("Name", "Count", "Ratio")
+	tb.Row("alpha", 5, 0.5)
+	tb.Row("beta-longer", 1234, 0.125)
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "Name") {
+		t.Errorf("header: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Errorf("separator: %q", lines[1])
+	}
+	if !strings.Contains(out, "0.12") {
+		t.Errorf("float not formatted: %s", out)
+	}
+	// Columns align: all data lines have the same length.
+	if len(lines[2]) != len(lines[3]) {
+		t.Errorf("rows not aligned:\n%q\n%q", lines[2], lines[3])
+	}
+}
+
+func TestFigure(t *testing.T) {
+	out := Figure("title", []string{"A", "B", "C"}, []rune{'#', '+', '.'},
+		[]StackedBar{
+			{Label: "one", Segments: []float64{0.5, 0.25, 0.25}},
+			{Label: "two", Segments: []float64{0.1, 0.2, 0.7}},
+		}, 40)
+	if !strings.Contains(out, "title") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "legend") {
+		t.Error("missing legend")
+	}
+	// The first bar's '#' segment should be about half of 40 chars.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "one") {
+			n := strings.Count(line, "#")
+			if n < 18 || n > 22 {
+				t.Errorf("segment width %d, want ~20: %q", n, line)
+			}
+			if !strings.Contains(line, "A=50.0%") {
+				t.Errorf("percentages missing: %q", line)
+			}
+		}
+	}
+	// Over-full segments are clipped, not overflowed.
+	out = Figure("t", []string{"X"}, []rune{'#'},
+		[]StackedBar{{Label: "b", Segments: []float64{1.5}}}, 10)
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "b") {
+			if strings.Count(line, "#") > 10 {
+				t.Errorf("bar overflow: %q", line)
+			}
+		}
+	}
+	// Default width applies (count only within the bar row; the legend
+	// also contains the rune).
+	out = Figure("t", []string{"X"}, []rune{'#'},
+		[]StackedBar{{Label: "b", Segments: []float64{1.0}}}, 0)
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "b ") || strings.HasPrefix(line, "b|") {
+			if n := strings.Count(line, "#"); n != 60 {
+				t.Errorf("default width not 60: %d in %q", n, line)
+			}
+		}
+	}
+}
