@@ -28,6 +28,7 @@ import (
 	"repro/internal/constinfer"
 	"repro/internal/constraint"
 	"repro/internal/core"
+	"repro/internal/driver"
 	"repro/internal/experiment"
 	"repro/internal/lambda"
 	"repro/internal/progen"
@@ -121,6 +122,40 @@ func BenchmarkTable2Poly(b *testing.B) {
 		})
 	}
 }
+
+// benchDriver runs the staged pipeline over the whole multi-file paper
+// suite with a fixed worker count; the serial/parallel pair below
+// measures the constraint-generation speedup on multi-core hosts.
+func benchDriver(b *testing.B, jobs int) {
+	entries := suite(b)
+	files := make([]*cfront.File, len(entries))
+	for i, e := range entries {
+		files[i] = e.file
+	}
+	cfg := driver.Config{
+		Options: constinfer.Options{Poly: true, Simplify: true},
+		Jobs:    jobs,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := driver.RunFiles(cfg, files)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Report == nil || res.HasErrors() {
+			b.Fatalf("driver errors: %v", res.Diagnostics)
+		}
+	}
+}
+
+// BenchmarkDriverSerial is the staged pipeline with a single
+// constraint-generation worker.
+func BenchmarkDriverSerial(b *testing.B) { benchDriver(b, 1) }
+
+// BenchmarkDriverParallel is the same pipeline with a GOMAXPROCS-bounded
+// worker pool; with ≥4 cores it should beat BenchmarkDriverSerial while
+// producing byte-identical output (see TestCqualGoldenDeterminism).
+func BenchmarkDriverParallel(b *testing.B) { benchDriver(b, 0) }
 
 // BenchmarkFigure6 runs the complete experiment pipeline (generate, parse,
 // mono, poly, render) for the two smallest benchmarks, the unit of work

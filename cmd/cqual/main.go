@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	cqual [-poly] [-polyrec] [-simplify] [-v] file.c ...
+//	cqual [-poly] [-polyrec] [-simplify] [-v] [-json] file.c ...
 //
 // For every "interesting" position (each pointer level of the parameters
 // and results of defined functions) cqual reports whether it must be
@@ -12,7 +12,8 @@
 // classes that are not yet declared const are the consts the programmer
 // could add. Qualifier conflicts (writes through declared-const
 // references) are reported with their flow path and make the exit status
-// nonzero.
+// nonzero. All input files are parsed before exiting, so every parse
+// error is reported, not just the first.
 package main
 
 import (
@@ -21,9 +22,8 @@ import (
 	"os"
 	"sort"
 
-	"repro/internal/cfront"
 	"repro/internal/constinfer"
-	"repro/internal/initcheck"
+	"repro/internal/driver"
 )
 
 func main() {
@@ -34,40 +34,50 @@ func main() {
 	suggest := flag.Bool("suggest", false, "print re-declared signatures with inferred consts inserted")
 	schemes := flag.Bool("schemes", false, "print inferred polymorphic qualifier schemes (with -poly)")
 	uninit := flag.Bool("uninit", false, "also run the flow-sensitive definite-initialization check (Section 6 extension)")
+	jsonOut := flag.Bool("json", false, "emit the report and diagnostics as JSON")
+	jobs := flag.Int("jobs", 0, "constraint-generation workers (0 = GOMAXPROCS; results are identical for every value)")
 	flag.Parse()
 
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: cqual [-poly] [-polyrec] [-simplify] [-v] file.c ...")
+		fmt.Fprintln(os.Stderr, "usage: cqual [-poly] [-polyrec] [-simplify] [-v] [-json] file.c ...")
 		os.Exit(2)
 	}
 
-	var files []*cfront.File
-	for _, path := range flag.Args() {
-		data, err := os.ReadFile(path)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "cqual:", err)
-			os.Exit(2)
-		}
-		f, err := cfront.Parse(path, string(data))
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "cqual:", err)
-			os.Exit(2)
-		}
-		files = append(files, f)
+	cfg := driver.Config{
+		Options: constinfer.Options{
+			Poly:     *poly || *polyrec,
+			PolyRec:  *polyrec,
+			Simplify: *simplify || *schemes,
+		},
+		Jobs:   *jobs,
+		Uninit: *uninit,
 	}
-
-	opts := constinfer.Options{
-		Poly:     *poly || *polyrec,
-		PolyRec:  *polyrec,
-		Simplify: *simplify || *schemes,
-	}
-	analysis := constinfer.NewAnalysis(files, opts)
-	rep, err := analysis.Run()
+	res, err := driver.Run(cfg, driver.FileSources(flag.Args()...))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cqual:", err)
 		os.Exit(2)
 	}
+	if res.Report == nil {
+		// Front-end failure: every load/parse error has a diagnostic.
+		if *jsonOut {
+			emitJSON(res)
+			os.Exit(2)
+		}
+		for _, d := range res.Errors() {
+			fmt.Fprintln(os.Stderr, "cqual:", d.Message)
+		}
+		os.Exit(2)
+	}
 
+	if *jsonOut {
+		emitJSON(res)
+		if len(res.Report.Conflicts) > 0 {
+			os.Exit(1)
+		}
+		return
+	}
+
+	rep := res.Report
 	if *verbose {
 		printPositions(rep)
 	}
@@ -87,18 +97,18 @@ func main() {
 		}
 		sort.Strings(names)
 		for _, name := range names {
-			if s, ok := analysis.SchemeString(name); ok {
+			if s, ok := res.Analysis.SchemeString(name); ok {
 				fmt.Println(s)
 			}
 		}
 	}
-	printSummary(rep, opts)
+	printSummary(rep, cfg.Options)
 
 	if *uninit {
 		warned := 0
-		for _, f := range files {
-			for _, w := range initcheck.CheckFile(f) {
-				fmt.Println(w)
+		for _, d := range res.Diagnostics {
+			if d.Stage == driver.StageInit {
+				fmt.Printf("%s: %s\n", d.Pos, d.Message)
 				warned++
 			}
 		}
@@ -112,6 +122,15 @@ func main() {
 		}
 		os.Exit(1)
 	}
+}
+
+func emitJSON(res *driver.Result) {
+	data, err := res.JSON()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cqual:", err)
+		os.Exit(2)
+	}
+	os.Stdout.Write(append(data, '\n'))
 }
 
 func printPositions(rep *constinfer.Report) {

@@ -16,8 +16,8 @@ import (
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/driver"
 	"repro/internal/eval"
-	"repro/internal/lambda"
 )
 
 func main() {
@@ -56,34 +56,65 @@ func main() {
 		src = string(data)
 	}
 
-	prog, err := lambda.Parse(file, src)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "qlambda:", err)
-		os.Exit(2)
-	}
+	res := driver.RunLambda(driver.LambdaConfig{
+		Spec:        spec,
+		Monomorphic: *mono,
+		Eval:        *doEval,
+	}, file, src)
 
-	checker := spec.NewChecker()
-	checker.Monomorphic = *mono
-	res, err := checker.Check(nil, prog)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "qlambda: type error:", err)
-		os.Exit(1)
-	}
-	if len(res.Conflicts) > 0 {
-		fmt.Fprintf(os.Stderr, "qlambda: %d qualifier conflict(s):\n", len(res.Conflicts))
-		for _, c := range res.Conflicts {
-			fmt.Fprintln(os.Stderr, "  "+c.Explain(spec.Set))
+	var conflicts, others []driver.Diagnostic
+	for _, d := range res.Diagnostics {
+		if d.Severity != driver.SevError {
+			continue
 		}
-		os.Exit(1)
+		if d.Code == "qualifier-conflict" {
+			conflicts = append(conflicts, d)
+		} else {
+			others = append(others, d)
+		}
 	}
-	fmt.Printf("type: %s\n", res.Type.FormatSolved(spec.Set, res.Sys))
-
-	if *doEval {
-		v, err := spec.Run(file, src)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "qlambda: runtime:", err)
+	for _, d := range others {
+		switch d.Stage {
+		case driver.StageParse:
+			fmt.Fprintln(os.Stderr, "qlambda:", d.Message)
+			os.Exit(2)
+		case driver.StageConstrain:
+			fmt.Fprintln(os.Stderr, "qlambda: type error:", d.Message)
 			os.Exit(1)
 		}
-		fmt.Printf("value: %s\n", eval.Format(spec.Set, v))
 	}
+	if len(conflicts) > 0 {
+		fmt.Fprintf(os.Stderr, "qlambda: %d qualifier conflict(s):\n", len(conflicts))
+		for _, d := range conflicts {
+			fmt.Fprintln(os.Stderr, "  "+explain(d))
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("type: %s\n", res.Type.FormatSolved(spec.Set, res.Checker.Sys))
+
+	if *doEval {
+		for _, d := range others {
+			if d.Stage == driver.StageEval {
+				fmt.Fprintln(os.Stderr, "qlambda: runtime:", d.Message)
+				os.Exit(1)
+			}
+		}
+		fmt.Printf("value: %s\n", eval.Format(spec.Set, res.Value))
+	}
+}
+
+// explain renders a conflict diagnostic in the traditional Explain form:
+// the bound violation followed by the flow path.
+func explain(d driver.Diagnostic) string {
+	s := d.Message
+	if d.Pos != "" {
+		s += " at " + d.Pos
+	}
+	for _, f := range d.Flow {
+		s += "\n\tflow: " + f.Note
+		if f.Pos != "" {
+			s += " (" + f.Pos + ")"
+		}
+	}
+	return s
 }

@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -108,5 +109,139 @@ int partial(int c) {
 				t.Errorf("example %s produced no output", ex)
 			}
 		})
+	}
+}
+
+// buildCqual compiles the cqual binary once for the golden tests.
+func buildCqual(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "cqual")
+	out, err := exec.Command("go", "build", "-o", bin, "./cmd/cqual").CombinedOutput()
+	if err != nil {
+		t.Fatalf("build cqual: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestCqualGoldenDeterminism: cqual output over the whole constinfer
+// testdata corpus is byte-identical between GOMAXPROCS=1 and the default
+// parallel run, in every mode. This is the end-to-end determinism
+// guarantee of the parallel constraint-generation stage.
+func TestCqualGoldenDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden CLI tests in -short mode")
+	}
+	corpus, err := filepath.Glob("internal/constinfer/testdata/*.c")
+	if err != nil || len(corpus) == 0 {
+		t.Fatalf("corpus missing: %v (%d files)", err, len(corpus))
+	}
+	bin := buildCqual(t)
+
+	modes := [][]string{
+		{"-v", "-suggest"},
+		{"-poly", "-v", "-schemes", "-suggest"},
+		{"-poly", "-simplify", "-json"},
+	}
+	for _, mode := range modes {
+		mode := mode
+		t.Run(strings.Join(mode, ""), func(t *testing.T) {
+			args := append(append([]string(nil), mode...), corpus...)
+
+			serial := exec.Command(bin, args...)
+			serial.Env = append(os.Environ(), "GOMAXPROCS=1")
+			serialOut, err := serial.CombinedOutput()
+			if err != nil {
+				t.Fatalf("GOMAXPROCS=1: %v\n%s", err, serialOut)
+			}
+
+			parallel := exec.Command(bin, args...)
+			parallel.Env = append(os.Environ(), "GOMAXPROCS=8")
+			parallelOut, err := parallel.CombinedOutput()
+			if err != nil {
+				t.Fatalf("GOMAXPROCS=8: %v\n%s", err, parallelOut)
+			}
+
+			serialS, parallelS := string(serialOut), string(parallelOut)
+			if strings.Contains(strings.Join(mode, " "), "json") {
+				// Timings are wall-clock and legitimately differ.
+				serialS = stripTimings(serialS)
+				parallelS = stripTimings(parallelS)
+			}
+			if serialS != parallelS {
+				t.Errorf("output differs between serial and parallel runs\n--- serial ---\n%s\n--- parallel ---\n%s",
+					serialS, parallelS)
+			}
+		})
+	}
+}
+
+// stripTimings removes the timings block from JSON output.
+func stripTimings(s string) string {
+	i := strings.Index(s, `"timings"`)
+	if i < 0 {
+		return s
+	}
+	end := strings.Index(s[i:], "}")
+	if end < 0 {
+		return s
+	}
+	return s[:i] + s[i+end+1:]
+}
+
+// TestCqualJSON: the -json flag emits a well-formed report.
+func TestCqualJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden CLI tests in -short mode")
+	}
+	bin := buildCqual(t)
+	dir := t.TempDir()
+	cFile := filepath.Join(dir, "demo.c")
+	if err := os.WriteFile(cFile, []byte("int mylen(char *s) { return *s; }\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := exec.Command(bin, "-json", "-poly", cFile).CombinedOutput()
+	if err != nil {
+		t.Fatalf("cqual -json: %v\n%s", err, out)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(out, &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out)
+	}
+	for _, key := range []string{"files", "mode", "summary", "positions", "diagnostics", "timings"} {
+		if _, ok := doc[key]; !ok {
+			t.Errorf("JSON output missing %q:\n%s", key, out)
+		}
+	}
+	if doc["mode"] != "polymorphic" {
+		t.Errorf("mode = %v", doc["mode"])
+	}
+}
+
+// TestCqualAllParseErrors: every bad input file is reported, not just the
+// first, and the exit status is 2.
+func TestCqualAllParseErrors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden CLI tests in -short mode")
+	}
+	bin := buildCqual(t)
+	dir := t.TempDir()
+	bad1 := filepath.Join(dir, "bad1.c")
+	bad2 := filepath.Join(dir, "bad2.c")
+	missing := filepath.Join(dir, "missing.c")
+	for _, f := range []string{bad1, bad2} {
+		if err := os.WriteFile(f, []byte("int broken( {\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cmd := exec.Command(bin, bad1, bad2, missing)
+	out, err := cmd.CombinedOutput()
+	exit, ok := err.(*exec.ExitError)
+	if !ok || exit.ExitCode() != 2 {
+		t.Fatalf("want exit 2, got %v\n%s", err, out)
+	}
+	for _, want := range []string{"bad1.c", "bad2.c", "missing.c"} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("error for %s not reported:\n%s", want, out)
+		}
 	}
 }

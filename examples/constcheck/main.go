@@ -12,7 +12,9 @@ import (
 	"log"
 	"sort"
 
+	"repro/internal/cfront"
 	"repro/internal/constinfer"
+	"repro/internal/driver"
 )
 
 const program = `
@@ -79,6 +81,9 @@ int main(int argc, char **argv) {
 `
 
 func main() {
+	// Parse once through the driver, then re-analyze the same files in
+	// both modes via RunFiles.
+	var files []*cfront.File
 	for _, mode := range []struct {
 		label string
 		opts  constinfer.Options
@@ -86,13 +91,22 @@ func main() {
 		{"monomorphic", constinfer.Options{}},
 		{"polymorphic", constinfer.Options{Poly: true}},
 	} {
-		rep, err := constinfer.AnalyzeSource("strlib.c", program, mode.opts)
+		var res *driver.Result
+		var err error
+		if files == nil {
+			res, err = driver.Run(driver.Config{Options: mode.opts},
+				[]driver.Source{driver.TextSource("strlib.c", program)})
+		} else {
+			res, err = driver.RunFiles(driver.Config{Options: mode.opts}, files)
+		}
 		if err != nil {
 			log.Fatal(err)
 		}
-		if len(rep.Conflicts) > 0 {
-			log.Fatalf("conflict: %v", rep.Conflicts[0])
+		if res.HasErrors() {
+			log.Fatalf("%s", res.Errors()[0])
 		}
+		files = res.Files
+		rep := res.Report
 		fmt.Printf("== %s inference ==\n", mode.label)
 		ps := append([]constinfer.PositionResult(nil), rep.Positions...)
 		sort.Slice(ps, func(i, j int) bool {

@@ -10,6 +10,7 @@ import (
 	"log"
 
 	"repro/internal/core"
+	"repro/internal/driver"
 )
 
 func main() {
@@ -20,14 +21,14 @@ func main() {
 	fmt.Println()
 
 	check := func(label, src string) {
-		res, err := spec.Check("quickstart", src)
-		if err != nil {
-			log.Fatalf("%s: %v", label, err)
+		res := driver.RunLambda(driver.LambdaConfig{Spec: spec}, "quickstart", src)
+		if res.Type == nil {
+			log.Fatalf("%s: %s", label, res.Errors()[0].Message)
 		}
-		if len(res.Conflicts) == 0 {
-			fmt.Printf("%-28s ACCEPTED: %s\n", label, res.Type.FormatSolved(spec.Set, res.Sys))
+		if !res.HasErrors() {
+			fmt.Printf("%-28s ACCEPTED: %s\n", label, res.Type.FormatSolved(spec.Set, res.Checker.Sys))
 		} else {
-			fmt.Printf("%-28s REJECTED: %s\n", label, res.Conflicts[0].Explain(spec.Set))
+			fmt.Printf("%-28s REJECTED: %s\n", label, res.Errors()[0])
 		}
 	}
 
@@ -59,12 +60,12 @@ func main() {
 		ni ni ni ni`
 	check("§3.2 id (polymorphic)", idExample)
 
-	mono := spec.NewMonoChecker()
-	res, err := mono.CheckSource("quickstart", idExample)
-	if err != nil {
-		log.Fatal(err)
+	res := driver.RunLambda(driver.LambdaConfig{Spec: spec, Monomorphic: true},
+		"quickstart", idExample)
+	if res.Type == nil {
+		log.Fatalf("%s", res.Errors()[0].Message)
 	}
-	if len(res.Conflicts) > 0 {
+	if res.HasErrors() {
 		fmt.Printf("%-28s REJECTED (as the paper predicts for the C type system)\n", "§3.2 id (monomorphic)")
 	} else {
 		fmt.Printf("%-28s unexpectedly accepted monomorphically\n", "§3.2 id (monomorphic)")
@@ -72,9 +73,10 @@ func main() {
 
 	// Run a program under the Figure-5 operational semantics.
 	fmt.Println("\n== Evaluation (Figure 5 semantics) ==")
-	v, err := spec.Run("quickstart", "let r = ref (@nonzero 6) in 42 / !r ni")
-	if err != nil {
-		log.Fatal(err)
+	evalRes := driver.RunLambda(driver.LambdaConfig{Spec: spec, Eval: true},
+		"quickstart", "let r = ref (@nonzero 6) in 42 / !r ni")
+	if evalRes.Value == nil {
+		log.Fatalf("%s", evalRes.Errors()[0].Message)
 	}
-	fmt.Printf("let r = ref (@nonzero 6) in 42 / !r ni  ⇒  %v\n", v.V)
+	fmt.Printf("let r = ref (@nonzero 6) in 42 / !r ni  ⇒  %v\n", evalRes.Value.V)
 }

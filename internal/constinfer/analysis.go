@@ -111,6 +111,21 @@ type funcInfo struct {
 	defined bool
 	sig     *RType // RFunc; created when the function's SCC is processed
 	scheme  *scheme
+	scc     int // index into Analysis.sccs; -1 until Prepare assigns it
+	ord     int // index into Analysis.defined; -1 for undefined functions
+}
+
+// sccInfo is one strongly-connected component of the function dependence
+// graph with the variable/constraint brackets the staged pipeline needs
+// for generalization: signatures are created in a first sequential sweep,
+// body constraints are merged later, so a component's fragment is the
+// union of two contiguous ranges rather than one.
+type sccInfo struct {
+	funcs []*funcInfo
+	// sigVars/sigCons bracket the signature-creation fragment.
+	sigVars, sigCons [2]int
+	// bodyVars/bodyCons bracket the merged body fragment.
+	bodyVars, bodyCons [2]int
 }
 
 type scheme struct {
@@ -121,7 +136,9 @@ type scheme struct {
 
 // Analysis is the const-inference engine over one whole program (a set of
 // translation units analyzed together, as the paper analyzes program
-// collections).
+// collections). It runs as a staged pipeline — Prepare, Constrain, Solve,
+// Classify — that Run composes; internal/driver exposes the stages with
+// timing hooks.
 type Analysis struct {
 	opts Options
 	set  *qual.Set
@@ -136,6 +153,15 @@ type Analysis struct {
 
 	notConst  qual.Elem
 	constMask qual.Elem
+
+	// Staged-pipeline state, filled by Prepare.
+	globalDecls []*cfront.VarDecl
+	defined     []*funcInfo
+	sccs        []*sccInfo
+	prepared    bool
+
+	// spec marks a speculative constrain-worker clone; see parallel.go.
+	spec *speculation
 }
 
 // NewAnalysis prepares an analysis over the parsed files.
@@ -159,6 +185,9 @@ func NewAnalysis(files []*cfront.File, opts Options) *Analysis {
 	}
 }
 
+// Set returns the qualifier set the analysis runs over.
+func (a *Analysis) Set() *qual.Set { return a.set }
+
 // Analyze parses nothing itself: it consumes parsed files, generates
 // constraints, solves, and classifies.
 func Analyze(files []*cfront.File, opts Options) (*Report, error) {
@@ -175,18 +204,31 @@ func AnalyzeSource(file, src string, opts Options) (*Report, error) {
 	return Analyze([]*cfront.File{f}, opts)
 }
 
-// Run executes the analysis.
+// Run executes the full pipeline: Prepare, Constrain (with the default
+// worker-pool size), Solve and Classify.
 func (a *Analysis) Run() (*Report, error) {
-	// Pass 1: collect functions (definitions win over prototypes),
-	// globals, and enum constants.
-	var globalDecls []*cfront.VarDecl
+	a.Prepare()
+	a.Constrain(0)
+	return a.Classify(a.SolveSystem()), nil
+}
+
+// Prepare is the Build stage: it collects functions (definitions win over
+// prototypes), globals and enum constants, translates global and library
+// signatures, and computes the strongly-connected components of the
+// function dependence graph. It allocates qualifier variables but walks
+// no function bodies.
+func (a *Analysis) Prepare() {
+	if a.prepared {
+		return
+	}
+	a.prepared = true
 	for _, f := range a.files {
 		for _, d := range f.Decls {
 			switch d := d.(type) {
 			case *cfront.FuncDecl:
 				fi := a.funcs[d.Name]
 				if fi == nil {
-					fi = &funcInfo{name: d.Name, decl: d}
+					fi = &funcInfo{name: d.Name, decl: d, scc: -1, ord: -1}
 					a.funcs[d.Name] = fi
 				}
 				if d.Body != nil && !fi.defined {
@@ -194,7 +236,7 @@ func (a *Analysis) Run() (*Report, error) {
 					fi.defined = true
 				}
 			case *cfront.VarDecl:
-				globalDecls = append(globalDecls, d)
+				a.globalDecls = append(a.globalDecls, d)
 			}
 		}
 		for name := range f.EnumConsts {
@@ -203,7 +245,7 @@ func (a *Analysis) Run() (*Report, error) {
 	}
 
 	// Globals are monomorphic and pinned.
-	for _, d := range globalDecls {
+	for _, d := range a.globalDecls {
 		if _, dup := a.globals[d.Name]; dup {
 			continue // tentative definitions / extern redeclarations
 		}
@@ -221,27 +263,110 @@ func (a *Analysis) Run() (*Report, error) {
 		}
 	}
 
-	// FDG over defined functions; process SCCs callees-first (Tarjan
+	// FDG over defined functions; SCCs come out callees-first (Tarjan
 	// emits components in reverse topological order).
-	defined := a.definedFuncs()
-	sccs := a.buildSCCs(defined)
+	a.defined = a.definedFuncs()
+	for i, fi := range a.defined {
+		fi.ord = i
+	}
+	for i, comp := range a.buildSCCs(a.defined) {
+		a.sccs = append(a.sccs, &sccInfo{funcs: comp})
+		for _, fi := range comp {
+			fi.scc = i
+		}
+	}
+}
 
-	for _, scc := range sccs {
-		a.processSCC(scc)
+// Constrain is the constraint-generation stage. Signatures are created
+// sequentially in SCC order; per-function body constraints are then
+// generated concurrently on a worker pool of the given size (0 selects
+// GOMAXPROCS) and merged back in deterministic SCC order, so the
+// resulting system — and every downstream report — is identical for any
+// pool size. Polymorphic recursion re-analyzes bodies iteratively and
+// keeps the sequential per-SCC path.
+func (a *Analysis) Constrain(jobs int) {
+	a.Prepare()
+	if a.opts.PolyRec {
+		for _, scc := range a.sccs {
+			a.processSCC(scc.funcs)
+		}
+		a.analyzeGlobalInits()
+		return
 	}
 
-	// Global initializers are analyzed after the FDG traversal (Section
-	// 4.3: "After we reach the root node of the FDG, we analyze any
-	// global variable definitions").
-	for _, d := range globalDecls {
+	// Signatures and positions, SCC order (sequential: signatures of one
+	// component may share struct types with any other).
+	for _, scc := range a.sccs {
+		scc.sigVars[0], scc.sigCons[0] = a.sys.NumVars(), a.sys.NumConstraints()
+		for _, fi := range scc.funcs {
+			fi.sig = a.tr.RValue(fi.decl.Type)
+			a.registerPositions(fi)
+		}
+		scc.sigVars[1], scc.sigCons[1] = a.sys.NumVars(), a.sys.NumConstraints()
+	}
+
+	// Per-function constraint generation on the worker pool, then the
+	// deterministic SCC-ordered merge and generalization.
+	results := a.constrainBodies(jobs)
+	for _, scc := range a.sccs {
+		scc.bodyVars[0], scc.bodyCons[0] = a.sys.NumVars(), a.sys.NumConstraints()
+		for _, fi := range scc.funcs {
+			if r := &results[fi.ord]; r.miss {
+				// The body needs a shared entity (implicit global or
+				// declaration, in-body struct type) that only the
+				// sequential path may create.
+				a.analyzeBody(fi)
+			} else {
+				a.mergeBody(r)
+			}
+		}
+		scc.bodyVars[1], scc.bodyCons[1] = a.sys.NumVars(), a.sys.NumConstraints()
+		if a.opts.Poly {
+			a.generalizeSCC(scc)
+		}
+	}
+	a.analyzeGlobalInits()
+}
+
+// analyzeGlobalInits relates global initializers after the FDG traversal
+// (Section 4.3: "After we reach the root node of the FDG, we analyze any
+// global variable definitions").
+func (a *Analysis) analyzeGlobalInits() {
+	for _, d := range a.globalDecls {
 		if d.Init != nil {
 			env := newEnv(a)
 			lv := a.globals[d.Name]
 			a.initialize(env, lv, d.Init)
 		}
 	}
+}
 
-	return a.solve(len(defined), len(sccs)), nil
+// SolveSystem is the Solve stage: it runs the atomic-subtyping solver and
+// returns the unsatisfiable constraints.
+func (a *Analysis) SolveSystem() []*constraint.Unsat {
+	return a.sys.Solve()
+}
+
+// generalizeSCC captures the component's constraint fragment into a type
+// scheme for each member function (Section 4.3 generalization).
+func (a *Analysis) generalizeSCC(scc *sccInfo) {
+	all := a.sys.Constraints()
+	cons := append([]constraint.Constraint(nil), all[scc.sigCons[0]:scc.sigCons[1]]...)
+	cons = append(cons, all[scc.bodyCons[0]:scc.bodyCons[1]]...)
+	qvars := make(map[constraint.Var]bool)
+	for _, rg := range [][2]int{scc.sigVars, scc.bodyVars} {
+		for v := rg[0]; v < rg[1]; v++ {
+			if !a.tr.pinned[constraint.Var(v)] {
+				qvars[constraint.Var(v)] = true
+			}
+		}
+	}
+	if a.opts.Simplify {
+		cons, qvars = a.simplifySchemeCons(scc.funcs, cons, qvars)
+	}
+	for _, fi := range scc.funcs {
+		fi.scheme = &scheme{sig: fi.sig, qvars: qvars, cons: cons}
+	}
 }
 
 func sortedFuncs(m map[string]*funcInfo) []*funcInfo {
@@ -654,30 +779,57 @@ func (a *Analysis) registerPositions(fi *funcInfo) {
 // signature otherwise (including within its own SCC).
 func (a *Analysis) useFunc(fi *funcInfo) *RType {
 	if fi.sig == nil {
+		if a.spec != nil {
+			// Signatures are all created before workers start; a nil one
+			// means an unusual shared mutation — fall back to sequential.
+			panic(specMiss{"function used before its signature exists"})
+		}
 		// Referenced before its SCC is processed; only possible through
 		// odd declaration orders — make a monomorphic signature now.
 		a.tr.pinning = true
 		fi.sig = a.tr.RValue(fi.decl.Type)
 		a.tr.pinning = false
 	}
+	if a.spec != nil {
+		// Worker clone: schemes do not exist yet. A callee in an earlier
+		// SCC will have one by merge time, so record a symbolic
+		// instantiation to be replayed then; everything else (own SCC,
+		// library functions) uses the shared signature, exactly as the
+		// sequential path would.
+		if a.opts.Poly && fi.defined && fi.scc != a.spec.scc {
+			return a.spec.instantiate(a, fi)
+		}
+		return fi.sig
+	}
 	if fi.scheme == nil {
 		return fi.sig
 	}
 	ren := make(map[constraint.Var]constraint.Var)
-	for v := range fi.scheme.qvars {
+	for _, v := range sortedVars(fi.scheme.qvars) {
 		ren[v] = a.sys.Fresh()
 	}
 	a.sys.AddConstraints(fi.scheme.cons, ren)
 	return a.tr.instantiate(fi.scheme.sig, ren, map[*RType]*RType{})
 }
 
-// solve runs the solver and classifies the recorded positions.
-func (a *Analysis) solve(nfuncs, nsccs int) *Report {
-	conflicts := a.sys.Solve()
+// sortedVars returns the keys of a qualifier-variable set in increasing
+// order, for deterministic fresh-variable allocation.
+func sortedVars(m map[constraint.Var]bool) []constraint.Var {
+	out := make([]constraint.Var, 0, len(m))
+	for v := range m {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Classify is the final stage: it interprets the solved system over the
+// recorded positions and assembles the report.
+func (a *Analysis) Classify(conflicts []*constraint.Unsat) *Report {
 	rep := &Report{
 		Conflicts:   conflicts,
-		Functions:   nfuncs,
-		SCCs:        nsccs,
+		Functions:   len(a.defined),
+		SCCs:        len(a.sccs),
 		Constraints: a.sys.NumConstraints(),
 		Vars:        a.sys.NumVars(),
 	}

@@ -215,6 +215,9 @@ func (a *Analysis) exprL(env *env, e cfront.Expr) *lval {
 		}
 		// Unknown name: create an implicit pinned global so repeated
 		// uses alias.
+		if a.spec != nil {
+			panic(specMiss{"implicit global " + e.Name})
+		}
 		a.tr.pinning = true
 		lv := a.tr.newRef(a.freshLeaf("int"), cfront.Quals{})
 		a.tr.pinning = false
@@ -394,6 +397,9 @@ func (a *Analysis) exprR(env *env, e cfront.Expr) *RType {
 				} else if _, isGlobal := a.globals[id.Name]; !isGlobal {
 					// Implicit declaration: int f(...). Conservatively
 					// treat pointer arguments as written through.
+					if a.spec != nil {
+						panic(specMiss{"implicitly declared function " + id.Name})
+					}
 					fi := &funcInfo{
 						name: id.Name,
 						decl: &cfront.FuncDecl{
@@ -402,6 +408,7 @@ func (a *Analysis) exprR(env *env, e cfront.Expr) *RType {
 								Ret: cfront.NewPrim(cfront.TInt, "int"), Variadic: true},
 							Pos: id.Pos,
 						},
+						scc: -1, ord: -1,
 					}
 					a.funcs[id.Name] = fi
 					a.makeLibSignature(fi)

@@ -21,6 +21,7 @@ package constraint
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"repro/internal/qual"
@@ -166,6 +167,16 @@ type System struct {
 // NewSystem creates an empty constraint system over the qualifier set.
 func NewSystem(set *qual.Set) *System {
 	return &System{set: set}
+}
+
+// NewSystemAt creates an empty constraint system whose first fresh
+// variable is Var(first). It is used by parallel constraint generation:
+// each worker allocates variables in a disjoint high range so that its
+// constraints can be renumbered into a shared system deterministically at
+// merge time. Solve must not be called on an offset system (the solution
+// arrays are indexed densely from zero).
+func NewSystemAt(set *qual.Set, first int) *System {
+	return &System{set: set, n: first}
 }
 
 // Set returns the qualifier set the system is defined over.
@@ -591,5 +602,36 @@ func Restrict(set *qual.Set, cons []Constraint, iface []Var) []Constraint {
 			}
 		}
 	}
+	// The maps above iterate in random order; scheme constraints feed
+	// instantiation replay, so the projection must be deterministic.
+	sort.Slice(out, func(i, j int) bool { return less(out[i], out[j]) })
 	return out
+}
+
+// less orders constraints deterministically: variables before constants,
+// then by variable index / constant bits, left term first, then mask.
+func less(a, b Constraint) bool {
+	if k := compareTerm(a.L, b.L); k != 0 {
+		return k < 0
+	}
+	if k := compareTerm(a.R, b.R); k != 0 {
+		return k < 0
+	}
+	return a.Mask < b.Mask
+}
+
+func compareTerm(a, b Term) int {
+	switch {
+	case a.isVar && !b.isVar:
+		return -1
+	case !a.isVar && b.isVar:
+		return 1
+	case a.isVar:
+		return int(a.v) - int(b.v)
+	case a.c < b.c:
+		return -1
+	case a.c > b.c:
+		return 1
+	}
+	return 0
 }

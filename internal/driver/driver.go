@@ -1,0 +1,230 @@
+// Package driver is the staged analysis pipeline of the repository: Load
+// → Parse → Build → Constrain → Solve → Classify → Report, the end-to-end
+// shape of the paper's Section 4.4 evaluation. Every binary and
+// experiment runs a program through this one pipeline instead of
+// hand-rolling its own parse→infer→report loop.
+//
+// The stages have explicit inputs and outputs, every stage is timed
+// (Timings), and everything the pipeline can say about a program is
+// expressed as a Diagnostic. The Parse stage parses files concurrently;
+// the Constrain stage generates per-function constraints on a
+// GOMAXPROCS-bounded worker pool with a deterministic merge, so results
+// are byte-identical for every worker count (see constinfer/parallel.go).
+package driver
+
+import (
+	"errors"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/cfront"
+	"repro/internal/constinfer"
+	"repro/internal/initcheck"
+)
+
+// Config selects the analysis mode for the C const-inference pipeline.
+type Config struct {
+	// Options is the inference mode (mono/poly/polyrec/simplify).
+	Options constinfer.Options
+	// Jobs bounds the constraint-generation worker pool; 0 means
+	// GOMAXPROCS. Results are identical for every value.
+	Jobs int
+	// Uninit additionally runs the flow-sensitive
+	// definite-initialization check and reports its warnings.
+	Uninit bool
+}
+
+// Source is one input translation unit. When Text is empty the Load
+// stage reads Path from disk.
+type Source struct {
+	// Path names the file; it is used for positions.
+	Path string
+	// Text is the source text, when already in memory.
+	Text string
+}
+
+// FileSources builds Sources that the Load stage reads from disk.
+func FileSources(paths ...string) []Source {
+	out := make([]Source, len(paths))
+	for i, p := range paths {
+		out[i] = Source{Path: p}
+	}
+	return out
+}
+
+// TextSource builds an in-memory Source.
+func TextSource(name, text string) Source {
+	return Source{Path: name, Text: text}
+}
+
+// Timings records the wall-clock duration of each pipeline stage.
+type Timings struct {
+	Load      time.Duration
+	Parse     time.Duration
+	Build     time.Duration
+	Constrain time.Duration
+	Solve     time.Duration
+	Classify  time.Duration
+	Eval      time.Duration
+}
+
+// Analysis is the total inference time: everything after the front end
+// (the paper's Mono/Poly columns; Parse is its "Compile time" column).
+func (t Timings) Analysis() time.Duration {
+	return t.Build + t.Constrain + t.Solve + t.Classify
+}
+
+// Result is the outcome of a pipeline run.
+type Result struct {
+	// Config echoes the configuration of the run.
+	Config Config
+	// Files are the parsed translation units (nil entries for sources
+	// that failed to load or parse).
+	Files []*cfront.File
+	// Analysis is the underlying engine, for callers that need scheme
+	// rendering or other drill-down; nil if the front end failed.
+	Analysis *constinfer.Analysis
+	// Report is the classification; nil if the front end failed.
+	Report *constinfer.Report
+	// Diagnostics collects every error and warning of the run, in stage
+	// order: load/parse errors, qualifier conflicts, then initialization
+	// warnings.
+	Diagnostics []Diagnostic
+	// Timings records per-stage wall-clock times.
+	Timings Timings
+}
+
+// HasErrors reports whether any diagnostic is an error.
+func (r *Result) HasErrors() bool {
+	for _, d := range r.Diagnostics {
+		if d.Severity == SevError {
+			return true
+		}
+	}
+	return false
+}
+
+// Errors returns the error diagnostics.
+func (r *Result) Errors() []Diagnostic {
+	var out []Diagnostic
+	for _, d := range r.Diagnostics {
+		if d.Severity == SevError {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Run executes the full pipeline over the sources. Front-end failures do
+// not abort the run early: every source is loaded and parsed and every
+// failure is reported as a diagnostic, and only then, if any front-end
+// error occurred, does the pipeline stop (Report stays nil). The
+// returned error is reserved for invalid invocations (no sources).
+func Run(cfg Config, sources []Source) (*Result, error) {
+	if len(sources) == 0 {
+		return nil, errors.New("driver: no input sources")
+	}
+	res := &Result{Config: cfg}
+
+	// Load: read every source, collecting every failure.
+	start := time.Now()
+	texts := make([]string, len(sources))
+	loadErrs := make([]error, len(sources))
+	for i, s := range sources {
+		if s.Text != "" {
+			texts[i] = s.Text
+			continue
+		}
+		data, err := os.ReadFile(s.Path)
+		if err != nil {
+			loadErrs[i] = err
+			continue
+		}
+		texts[i] = string(data)
+	}
+	res.Timings.Load = time.Since(start)
+
+	// Parse: concurrent across files; diagnostics in input order.
+	start = time.Now()
+	files := make([]*cfront.File, len(sources))
+	parseErrs := make([]error, len(sources))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i := range sources {
+		if loadErrs[i] != nil {
+			continue
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			files[i], parseErrs[i] = cfront.Parse(sources[i].Path, texts[i])
+		}(i)
+	}
+	wg.Wait()
+	res.Timings.Parse = time.Since(start)
+	res.Files = files
+
+	for i, s := range sources {
+		if loadErrs[i] != nil {
+			res.Diagnostics = append(res.Diagnostics, loadDiagnostic(s.Path, loadErrs[i]))
+		} else if parseErrs[i] != nil {
+			res.Diagnostics = append(res.Diagnostics, parseDiagnostic(s.Path, parseErrs[i]))
+		}
+	}
+	if res.HasErrors() {
+		return res, nil
+	}
+
+	runAnalysis(cfg, res)
+	return res, nil
+}
+
+// RunFiles executes the pipeline over already-parsed files, skipping the
+// Load and Parse stages. It is used when the same parse is analyzed in
+// several modes (the experiment's mono and poly passes).
+func RunFiles(cfg Config, files []*cfront.File) (*Result, error) {
+	if len(files) == 0 {
+		return nil, errors.New("driver: no input files")
+	}
+	res := &Result{Config: cfg, Files: files}
+	runAnalysis(cfg, res)
+	return res, nil
+}
+
+// runAnalysis drives the Build → Constrain → Solve → Classify stages and
+// the optional initialization check over res.Files.
+func runAnalysis(cfg Config, res *Result) {
+	a := constinfer.NewAnalysis(res.Files, cfg.Options)
+	res.Analysis = a
+
+	start := time.Now()
+	a.Prepare()
+	res.Timings.Build = time.Since(start)
+
+	start = time.Now()
+	a.Constrain(cfg.Jobs)
+	res.Timings.Constrain = time.Since(start)
+
+	start = time.Now()
+	conflicts := a.SolveSystem()
+	res.Timings.Solve = time.Since(start)
+
+	start = time.Now()
+	res.Report = a.Classify(conflicts)
+	res.Timings.Classify = time.Since(start)
+
+	for _, u := range conflicts {
+		res.Diagnostics = append(res.Diagnostics, conflictDiagnostic(a.Set(), u))
+	}
+	if cfg.Uninit {
+		for _, f := range res.Files {
+			for _, w := range initcheck.CheckFile(f) {
+				res.Diagnostics = append(res.Diagnostics, initDiagnostic(w))
+			}
+		}
+	}
+}

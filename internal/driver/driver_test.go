@@ -1,0 +1,237 @@
+package driver
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/constinfer"
+	"repro/internal/core"
+)
+
+const demo = `
+int mylen(char *s) {
+    int n = 0;
+    while (s[n]) n++;
+    return n;
+}
+void set(char *p) { *p = 0; }
+int partial(int c) {
+    int x;
+    if (c) x = 1;
+    return x;
+}
+`
+
+func TestRunBasic(t *testing.T) {
+	res, err := Run(Config{}, []Source{TextSource("demo.c", demo)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HasErrors() {
+		t.Fatalf("unexpected errors: %v", res.Diagnostics)
+	}
+	rep := res.Report
+	if rep == nil || rep.Functions != 3 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if rep.Inferred != 1 {
+		t.Errorf("inferred = %d, want 1 (mylen)", rep.Inferred)
+	}
+}
+
+func TestRunCollectsAllFrontEndErrors(t *testing.T) {
+	res, err := Run(Config{}, []Source{
+		TextSource("a.c", "int broken( {"),
+		TextSource("b.c", demo),
+		TextSource("c.c", "void g( {"),
+		{Path: "/nonexistent/driver-test-missing.c"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report != nil {
+		t.Error("report built despite front-end errors")
+	}
+	errs := res.Errors()
+	if len(errs) != 3 {
+		t.Fatalf("got %d errors, want 3 (two parse + one load): %v", len(errs), errs)
+	}
+	if errs[0].Stage != StageParse || errs[1].Stage != StageParse || errs[2].Stage != StageLoad {
+		t.Errorf("stages = %v %v %v", errs[0].Stage, errs[1].Stage, errs[2].Stage)
+	}
+	// Diagnostics stay in input order: a.c before c.c.
+	if !strings.Contains(errs[0].Message, "a.c") || !strings.Contains(errs[1].Message, "c.c") {
+		t.Errorf("diagnostics out of order: %v", errs)
+	}
+}
+
+func TestRunConflictDiagnostics(t *testing.T) {
+	res, err := Run(Config{}, []Source{
+		TextSource("bad.c", "void f(const char *s) { *s = 0; }"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.HasErrors() {
+		t.Fatal("const violation not reported")
+	}
+	d := res.Errors()[0]
+	if d.Stage != StageSolve || d.Code != "qualifier-conflict" {
+		t.Errorf("diagnostic = %+v", d)
+	}
+	if len(d.Flow) == 0 {
+		t.Error("conflict diagnostic has no flow path")
+	}
+	if !strings.Contains(d.String(), "const") {
+		t.Errorf("rendered diagnostic lacks qualifier name: %s", d)
+	}
+}
+
+func TestRunUninitWarnings(t *testing.T) {
+	res, err := Run(Config{Uninit: true}, []Source{TextSource("demo.c", demo)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var warn []Diagnostic
+	for _, d := range res.Diagnostics {
+		if d.Stage == StageInit {
+			warn = append(warn, d)
+		}
+	}
+	if len(warn) != 1 || warn[0].Severity != SevWarning {
+		t.Fatalf("uninit warnings = %v", warn)
+	}
+	if !strings.Contains(warn[0].Message, `"x"`) {
+		t.Errorf("warning does not name x: %s", warn[0].Message)
+	}
+	// Warnings are not errors: the report still exists.
+	if res.Report == nil || res.HasErrors() {
+		t.Error("warnings should not fail the run")
+	}
+}
+
+// TestRunDeterministicAcrossJobs: the per-position classification and the
+// whole JSON report are identical for every worker-pool size.
+func TestRunDeterministicAcrossJobs(t *testing.T) {
+	srcs := []Source{TextSource("demo.c", demo)}
+	for _, opts := range []constinfer.Options{{}, {Poly: true, Simplify: true}} {
+		base, err := Run(Config{Options: opts, Jobs: 1}, srcs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := canonicalJSON(t, base)
+		for _, jobs := range []int{2, 8} {
+			got, err := Run(Config{Options: opts, Jobs: jobs}, srcs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if g := canonicalJSON(t, got); g != want {
+				t.Errorf("opts %+v jobs %d: report diverges\nwant %s\ngot  %s", opts, jobs, want, g)
+			}
+		}
+	}
+}
+
+// canonicalJSON renders the report with timings stripped (they are the
+// only legitimately nondeterministic field).
+func canonicalJSON(t *testing.T, res *Result) string {
+	t.Helper()
+	data, err := res.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	delete(m, "timings")
+	out, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out)
+}
+
+func TestRunFilesReusesParse(t *testing.T) {
+	mono, err := Run(Config{}, []Source{TextSource("demo.c", demo)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	poly, err := RunFiles(Config{Options: constinfer.Options{Poly: true}}, mono.Files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if poly.Report == nil || poly.Report.Total != mono.Report.Total {
+		t.Fatalf("poly report = %+v", poly.Report)
+	}
+	if poly.Timings.Parse != 0 {
+		t.Error("RunFiles should not spend time parsing")
+	}
+	if poly.Report.Inferred < mono.Report.Inferred {
+		t.Errorf("poly inferred %d < mono %d", poly.Report.Inferred, mono.Report.Inferred)
+	}
+}
+
+func TestTimingsRecorded(t *testing.T) {
+	res, err := Run(Config{}, []Source{TextSource("demo.c", demo)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := res.Timings
+	if ts.Parse <= 0 || ts.Constrain <= 0 || ts.Solve <= 0 || ts.Classify <= 0 {
+		t.Errorf("missing stage timings: %+v", ts)
+	}
+	if ts.Analysis() < ts.Constrain {
+		t.Errorf("Analysis() = %v < Constrain %v", ts.Analysis(), ts.Constrain)
+	}
+}
+
+func TestRunLambdaAcceptAndEval(t *testing.T) {
+	res := RunLambda(LambdaConfig{Spec: core.NonzeroSpec(), Eval: true},
+		"test", "100 / (@nonzero (3 - 1))")
+	if res.HasErrors() {
+		t.Fatalf("errors: %v", res.Diagnostics)
+	}
+	if res.Type == nil || res.Checker == nil {
+		t.Fatal("no type inferred")
+	}
+	if res.Value == nil {
+		t.Fatal("no value evaluated")
+	}
+	if res.Timings.Parse <= 0 || res.Timings.Constrain <= 0 {
+		t.Errorf("missing timings: %+v", res.Timings)
+	}
+}
+
+func TestRunLambdaRejectsConflict(t *testing.T) {
+	res := RunLambda(LambdaConfig{Spec: core.ConstSpec()},
+		"test", "(@const ref 1) := 2")
+	if !res.HasErrors() {
+		t.Fatal("const violation not reported")
+	}
+	d := res.Errors()[0]
+	if d.Code != "qualifier-conflict" || d.Stage != StageSolve {
+		t.Errorf("diagnostic = %+v", d)
+	}
+}
+
+func TestRunLambdaParseAndTypeErrors(t *testing.T) {
+	res := RunLambda(LambdaConfig{Spec: core.ConstSpec()}, "test", "let x =")
+	if !res.HasErrors() || res.Errors()[0].Stage != StageParse {
+		t.Errorf("parse failure not reported: %v", res.Diagnostics)
+	}
+	res = RunLambda(LambdaConfig{Spec: core.ConstSpec()}, "test", "1 2")
+	if !res.HasErrors() {
+		t.Errorf("expected an error for application of a non-function: %v", res.Diagnostics)
+	}
+}
+
+func TestRunNoSources(t *testing.T) {
+	if _, err := Run(Config{}, nil); err == nil {
+		t.Error("Run with no sources should error")
+	}
+	if _, err := RunFiles(Config{}, nil); err == nil {
+		t.Error("RunFiles with no files should error")
+	}
+}

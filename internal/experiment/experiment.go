@@ -1,7 +1,8 @@
 // Package experiment runs the paper's Section 4.4 evaluation end to end:
 // generate (or load) a benchmark, parse it ("compile"), run monomorphic
 // and polymorphic const inference, and render Table 1, Table 2 and
-// Figure 6.
+// Figure 6. Both passes go through the staged internal/driver pipeline;
+// the Compile/Mono/Poly columns are the driver's per-stage timings.
 package experiment
 
 import (
@@ -10,8 +11,8 @@ import (
 	"time"
 
 	"repro/internal/benchgen"
-	"repro/internal/cfront"
 	"repro/internal/constinfer"
+	"repro/internal/driver"
 	"repro/internal/tables"
 )
 
@@ -37,40 +38,41 @@ type Result struct {
 }
 
 // Run generates and measures one benchmark. PolyOpts lets callers select
-// simplification or polymorphic recursion for the polymorphic pass.
+// simplification or polymorphic recursion for the polymorphic pass. The
+// monomorphic pass runs the full pipeline (its Parse timing is the
+// paper's "Compile time" column); the polymorphic pass reuses the parsed
+// files, so its cost is pure inference.
 func Run(cfg benchgen.Config, polyOpts constinfer.Options) (*Result, error) {
 	src := benchgen.Generate(cfg)
 	res := &Result{Config: cfg, Lines: strings.Count(src, "\n")}
 
-	start := time.Now()
-	file, err := cfront.Parse(cfg.Name+".c", src)
+	monoRes, err := driver.Run(driver.Config{},
+		[]driver.Source{driver.TextSource(cfg.Name+".c", src)})
 	if err != nil {
-		return nil, fmt.Errorf("experiment %s: parse: %w", cfg.Name, err)
+		return nil, fmt.Errorf("experiment %s: %w", cfg.Name, err)
 	}
-	res.CompileTime = time.Since(start)
-
-	start = time.Now()
-	mono, err := constinfer.Analyze([]*cfront.File{file}, constinfer.Options{})
-	if err != nil {
-		return nil, fmt.Errorf("experiment %s: mono: %w", cfg.Name, err)
+	if monoRes.Report == nil {
+		return nil, fmt.Errorf("experiment %s: parse: %v", cfg.Name, monoRes.Errors()[0].Message)
 	}
-	res.MonoTime = time.Since(start)
+	mono := monoRes.Report
 	if len(mono.Conflicts) > 0 {
 		return nil, fmt.Errorf("experiment %s: mono inference found conflicts in a generated (correct) program: %v",
 			cfg.Name, mono.Conflicts[0].Error())
 	}
+	res.CompileTime = monoRes.Timings.Parse
+	res.MonoTime = monoRes.Timings.Analysis()
 
 	polyOpts.Poly = true
-	start = time.Now()
-	poly, err := constinfer.Analyze([]*cfront.File{file}, polyOpts)
+	polyRes, err := driver.RunFiles(driver.Config{Options: polyOpts}, monoRes.Files)
 	if err != nil {
 		return nil, fmt.Errorf("experiment %s: poly: %w", cfg.Name, err)
 	}
-	res.PolyTime = time.Since(start)
+	poly := polyRes.Report
 	if len(poly.Conflicts) > 0 {
 		return nil, fmt.Errorf("experiment %s: poly inference found conflicts: %v",
 			cfg.Name, poly.Conflicts[0].Error())
 	}
+	res.PolyTime = polyRes.Timings.Analysis()
 
 	res.Declared = mono.Declared
 	res.Mono = mono.Inferred
