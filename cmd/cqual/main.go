@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	cqual [-poly] [-polyrec] [-simplify] [-v] [-json] file.c ...
+//	cqual [-poly] [-polyrec] [-simplify] [-v] [-json] [-serve URL] file.c ...
 //
 // For every "interesting" position (each pointer level of the parameters
 // and results of defined functions) cqual reports whether it must be
@@ -14,16 +14,28 @@
 // references) are reported with their flow path and make the exit status
 // nonzero. All input files are parsed before exiting, so every parse
 // error is reported, not just the first.
+//
+// With -serve URL the files are not analyzed locally: they are POSTed to
+// a running cquald daemon at URL and the daemon's JSON report — which is
+// byte-identical to what -json would print here — goes to stdout. Exit
+// status matches -json: 1 on qualifier conflicts, 2 on front-end or
+// transport failure.
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"sort"
+	"strings"
 
 	"repro/internal/constinfer"
 	"repro/internal/driver"
+	"repro/internal/server"
 )
 
 func main() {
@@ -36,11 +48,24 @@ func main() {
 	uninit := flag.Bool("uninit", false, "also run the flow-sensitive definite-initialization check (Section 6 extension)")
 	jsonOut := flag.Bool("json", false, "emit the report and diagnostics as JSON")
 	jobs := flag.Int("jobs", 0, "constraint-generation workers (0 = GOMAXPROCS; results are identical for every value)")
+	serve := flag.String("serve", "", "analyze via a running cquald daemon at this base URL instead of locally")
 	flag.Parse()
 
-	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: cqual [-poly] [-polyrec] [-simplify] [-v] [-json] file.c ...")
+	if *jobs < 0 {
+		fmt.Fprintln(os.Stderr, "cqual: -jobs must be >= 0")
+		fmt.Fprintln(os.Stderr, "usage: cqual [-poly] [-polyrec] [-simplify] [-v] [-json] [-serve URL] file.c ...")
 		os.Exit(2)
+	}
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: cqual [-poly] [-polyrec] [-simplify] [-v] [-json] [-serve URL] file.c ...")
+		os.Exit(2)
+	}
+
+	if *serve != "" {
+		os.Exit(runRemote(*serve, remoteOptions{
+			poly: *poly, polyrec: *polyrec, simplify: *simplify || *schemes,
+			uninit: *uninit, jobs: *jobs,
+		}, flag.Args()))
 	}
 
 	cfg := driver.Config{
@@ -121,6 +146,74 @@ func main() {
 			fmt.Println("  " + c.Error())
 		}
 		os.Exit(1)
+	}
+}
+
+type remoteOptions struct {
+	poly, polyrec, simplify, uninit bool
+	jobs                            int
+}
+
+// runRemote is the -serve client: it reads the files locally, POSTs them
+// to a cquald daemon, and prints the daemon's report verbatim. The exit
+// status mirrors the -json local path (0 clean, 1 conflicts, 2 front-end
+// or transport failure) so scripts can swap -serve in and out.
+func runRemote(base string, opts remoteOptions, paths []string) int {
+	req := server.AnalyzeRequest{
+		Poly:     opts.poly,
+		PolyRec:  opts.polyrec,
+		Simplify: opts.simplify,
+		Uninit:   opts.uninit,
+		Jobs:     opts.jobs,
+	}
+	for _, p := range paths {
+		text, err := os.ReadFile(p)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cqual:", err)
+			return 2
+		}
+		req.Sources = append(req.Sources, server.SourceJSON{Path: p, Text: string(text)})
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cqual:", err)
+		return 2
+	}
+	resp, err := http.Post(strings.TrimRight(base, "/")+"/v1/analyze", "application/json", bytes.NewReader(body))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cqual:", err)
+		return 2
+	}
+	defer resp.Body.Close()
+	report, err := io.ReadAll(resp.Body)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cqual:", err)
+		return 2
+	}
+	if resp.StatusCode != http.StatusOK {
+		fmt.Fprintf(os.Stderr, "cqual: %s: %s: %s", base, resp.Status, report)
+		return 2
+	}
+	os.Stdout.Write(report)
+
+	// The report is the wire contract; derive the exit status from it
+	// rather than from a side channel.
+	var parsed struct {
+		Summary *struct {
+			Conflicts int `json:"conflicts"`
+		} `json:"summary"`
+	}
+	if err := json.Unmarshal(report, &parsed); err != nil {
+		fmt.Fprintln(os.Stderr, "cqual: malformed report:", err)
+		return 2
+	}
+	switch {
+	case parsed.Summary == nil:
+		return 2 // front-end failure: diagnostics only, no report
+	case parsed.Summary.Conflicts > 0:
+		return 1
+	default:
+		return 0
 	}
 }
 

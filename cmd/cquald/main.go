@@ -1,0 +1,102 @@
+// Command cquald is the resident qualifier-analysis daemon: the const
+// inference of Section 4 of "A Theory of Type Qualifiers" (PLDI 1999) as
+// a long-running HTTP/JSON service with a content-addressed incremental
+// cache (see internal/server and internal/cache).
+//
+// Usage:
+//
+//	cquald [-addr host:port] [-jobs n] [-max-concurrent n]
+//	       [-timeout d] [-shutdown-timeout d]
+//	       [-result-cache-entries n] [-result-cache-bytes n]
+//	       [-summary-cache-entries n] [-summary-cache-bytes n]
+//
+// POST a batch of sources to /v1/analyze and receive the same JSON
+// report `cqual -json` prints; repeated requests for unchanged sources
+// are answered from cache (X-Cache: hit), and requests that change one
+// function re-derive only that function's constraint fragment. /healthz
+// and /metrics serve liveness and counters. SIGINT/SIGTERM drain
+// in-flight requests before exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8710", "listen address (host:port; port 0 picks a free port)")
+	jobs := flag.Int("jobs", 0, "constraint-generation workers per analysis (0 = GOMAXPROCS)")
+	maxConcurrent := flag.Int("max-concurrent", 0, "simultaneous analyses (0 = GOMAXPROCS)")
+	timeout := flag.Duration("timeout", server.DefaultRequestTimeout, "per-request deadline including queue time (negative = none)")
+	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "grace period for draining in-flight requests on SIGINT/SIGTERM")
+	resultEntries := flag.Int("result-cache-entries", 1024, "result cache: max entries (0 = unbounded)")
+	resultBytes := flag.Int64("result-cache-bytes", 256<<20, "result cache: max stored report bytes (0 = unbounded)")
+	summaryEntries := flag.Int("summary-cache-entries", 65536, "per-function summary cache: max entries (0 = unbounded)")
+	summaryBytes := flag.Int64("summary-cache-bytes", 256<<20, "per-function summary cache: max approximate bytes (0 = unbounded)")
+	flag.Parse()
+
+	if *jobs < 0 {
+		fmt.Fprintln(os.Stderr, "cquald: -jobs must be >= 0")
+		os.Exit(2)
+	}
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "cquald: unexpected arguments; the daemon takes sources over HTTP, not the command line")
+		os.Exit(2)
+	}
+
+	srv := server.New(server.Config{
+		Jobs:           *jobs,
+		MaxConcurrent:  *maxConcurrent,
+		RequestTimeout: *timeout,
+		ResultEntries:  *resultEntries,
+		ResultBytes:    *resultBytes,
+		SummaryEntries: *summaryEntries,
+		SummaryBytes:   *summaryBytes,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("cquald: listen: %v", err)
+	}
+	httpSrv := &http.Server{Handler: srv}
+
+	// The resolved address is logged (not just the flag value) so that
+	// port 0 — used by the end-to-end tests — is observable.
+	log.Printf("cquald: listening on http://%s", ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		log.Fatalf("cquald: serve: %v", err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("cquald: shutting down, draining in-flight requests")
+	sctx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(sctx); err != nil {
+		log.Printf("cquald: shutdown: %v", err)
+		os.Exit(1)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("cquald: serve: %v", err)
+		os.Exit(1)
+	}
+	log.Printf("cquald: bye")
+}

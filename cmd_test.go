@@ -1,11 +1,14 @@
 package repro
 
 import (
+	"bufio"
 	"encoding/json"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
 )
 
@@ -214,6 +217,145 @@ func TestCqualJSON(t *testing.T) {
 	}
 	if doc["mode"] != "polymorphic" {
 		t.Errorf("mode = %v", doc["mode"])
+	}
+}
+
+// TestCqualJobsValidation: a negative worker count is a usage error.
+func TestCqualJobsValidation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden CLI tests in -short mode")
+	}
+	bin := buildCqual(t)
+	dir := t.TempDir()
+	cFile := filepath.Join(dir, "ok.c")
+	if err := os.WriteFile(cFile, []byte("int f(int x) { return x; }\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := exec.Command(bin, "-jobs", "-3", cFile).CombinedOutput()
+	exit, ok := err.(*exec.ExitError)
+	if !ok || exit.ExitCode() != 2 {
+		t.Fatalf("cqual -jobs -3: want exit 2, got %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "-jobs must be >= 0") {
+		t.Errorf("no usage error for negative -jobs:\n%s", out)
+	}
+}
+
+// buildCquald compiles the daemon binary.
+func buildCquald(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "cquald")
+	out, err := exec.Command("go", "build", "-o", bin, "./cmd/cquald").CombinedOutput()
+	if err != nil {
+		t.Fatalf("build cquald: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestCqualdDaemonSmoke is the daemon end-to-end check: start cquald on a
+// free port, analyze the corpus through `cqual -serve`, verify the report
+// matches a local `cqual -json` run modulo timings, confirm the repeat
+// request hits the result cache, and shut down gracefully with SIGTERM.
+func TestCqualdDaemonSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("daemon smoke test in -short mode")
+	}
+	corpus, err := filepath.Glob("internal/constinfer/testdata/*.c")
+	if err != nil || len(corpus) == 0 {
+		t.Fatalf("corpus missing: %v (%d files)", err, len(corpus))
+	}
+	cqual := buildCqual(t)
+	cquald := buildCquald(t)
+
+	daemon := exec.Command(cquald, "-addr", "127.0.0.1:0")
+	stderr, err := daemon.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := daemon.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer daemon.Process.Kill()
+
+	// The daemon logs the resolved address (port 0 picks a free port).
+	var addr string
+	logs := bufio.NewScanner(stderr)
+	for logs.Scan() {
+		line := logs.Text()
+		if i := strings.Index(line, "listening on http://"); i >= 0 {
+			addr = "http://" + strings.TrimPrefix(line[i:], "listening on http://")
+			break
+		}
+	}
+	if addr == "" {
+		t.Fatalf("daemon never announced its address: %v", logs.Err())
+	}
+	go func() { // drain so the daemon never blocks on a full pipe
+		for logs.Scan() {
+		}
+	}()
+
+	local, err := exec.Command(cqual, append([]string{"-json", "-poly"}, corpus...)...).Output()
+	if err != nil {
+		t.Fatalf("local cqual -json: %v", err)
+	}
+	remote1, err := exec.Command(cqual, append([]string{"-serve", addr, "-poly"}, corpus...)...).Output()
+	if err != nil {
+		t.Fatalf("cqual -serve (cold): %v", err)
+	}
+	if stripTimings(string(local)) != stripTimings(string(remote1)) {
+		t.Fatalf("daemon report differs from local run\n--- local ---\n%s\n--- daemon ---\n%s", local, remote1)
+	}
+
+	// The repeat request is a result-cache hit: byte-identical, timings
+	// and all, because the stored bytes are served verbatim.
+	remote2, err := exec.Command(cqual, append([]string{"-serve", addr, "-poly"}, corpus...)...).Output()
+	if err != nil {
+		t.Fatalf("cqual -serve (warm): %v", err)
+	}
+	if string(remote1) != string(remote2) {
+		t.Fatal("cache hit not byte-identical to cold response")
+	}
+
+	resp, err := http.Get(addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var metrics struct {
+		Requests    uint64 `json:"requests"`
+		Analyses    uint64 `json:"analyses"`
+		ResultCache struct {
+			Hits uint64 `json:"hits"`
+		} `json:"result_cache"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&metrics)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if metrics.Requests != 2 || metrics.Analyses != 1 || metrics.ResultCache.Hits != 1 {
+		t.Fatalf("metrics = %+v; want 2 requests, 1 analysis, 1 hit", metrics)
+	}
+
+	// A conflicting program round-trips the exit status through the
+	// daemon: 1, same as local cqual.
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.c")
+	if err := os.WriteFile(bad, []byte("void f(const char *s) { *s = 0; }\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := exec.Command(cqual, "-serve", addr, bad).CombinedOutput()
+	exit, ok := err.(*exec.ExitError)
+	if !ok || exit.ExitCode() != 1 {
+		t.Fatalf("conflict via -serve: want exit 1, got %v\n%s", err, out)
+	}
+
+	// Graceful shutdown: SIGTERM drains and exits 0.
+	if err := daemon.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := daemon.Wait(); err != nil {
+		t.Fatalf("daemon did not exit cleanly on SIGTERM: %v", err)
 	}
 }
 

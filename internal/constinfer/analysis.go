@@ -162,6 +162,10 @@ type Analysis struct {
 
 	// spec marks a speculative constrain-worker clone; see parallel.go.
 	spec *speculation
+
+	// summaries, when set, memoizes per-function constraint fragments
+	// across runs; see summary.go.
+	summaries SummaryCache
 }
 
 // NewAnalysis prepares an analysis over the parsed files.
@@ -305,9 +309,10 @@ func (a *Analysis) Constrain(jobs int) {
 		scc.sigVars[1], scc.sigCons[1] = a.sys.NumVars(), a.sys.NumConstraints()
 	}
 
-	// Per-function constraint generation on the worker pool, then the
-	// deterministic SCC-ordered merge and generalization.
-	results := a.constrainBodies(jobs)
+	// Per-function constraint generation on the worker pool (with cached
+	// summaries replayed for unchanged functions), then the deterministic
+	// SCC-ordered merge and generalization.
+	results := a.cachedBodyResults(jobs)
 	for _, scc := range a.sccs {
 		scc.bodyVars[0], scc.bodyCons[0] = a.sys.NumVars(), a.sys.NumConstraints()
 		for _, fi := range scc.funcs {

@@ -88,8 +88,9 @@ func (s *speculation) instantiate(a *Analysis, callee *funcInfo) *RType {
 
 // constrainBodies analyzes every defined function body on a worker pool
 // of the given size (0 selects GOMAXPROCS) and returns the per-function
-// fragments indexed by fi.ord.
-func (a *Analysis) constrainBodies(jobs int) []bodyResult {
+// fragments indexed by fi.ord. Indices marked in skip (cache hits whose
+// fragments are replayed by the caller) are left zero and not analyzed.
+func (a *Analysis) constrainBodies(jobs int, skip []bool) []bodyResult {
 	results := make([]bodyResult, len(a.defined))
 	if jobs <= 0 {
 		jobs = runtime.GOMAXPROCS(0)
@@ -99,6 +100,9 @@ func (a *Analysis) constrainBodies(jobs int) []bodyResult {
 	}
 	if jobs <= 1 {
 		for i, fi := range a.defined {
+			if skip != nil && skip[i] {
+				continue
+			}
 			results[i] = a.constrainBody(fi)
 		}
 		return results
@@ -113,6 +117,9 @@ func (a *Analysis) constrainBodies(jobs int) []bodyResult {
 				i := int(next.Add(1)) - 1
 				if i >= len(a.defined) {
 					return
+				}
+				if skip != nil && skip[i] {
+					continue
 				}
 				results[i] = a.constrainBody(a.defined[i])
 			}

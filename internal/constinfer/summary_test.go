@@ -1,0 +1,139 @@
+package constinfer
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/cfront"
+	"repro/internal/constraint"
+)
+
+// fakeSummaryCache is a map-backed SummaryCache with hit/put counters;
+// internal/cache provides the real bounded one (it cannot be used here:
+// it imports this package).
+type fakeSummaryCache struct {
+	mu         sync.Mutex
+	m          map[SummaryKey]*BodySummary
+	hits, puts int
+}
+
+func newFakeSummaryCache() *fakeSummaryCache {
+	return &fakeSummaryCache{m: make(map[SummaryKey]*BodySummary)}
+}
+
+func (c *fakeSummaryCache) GetSummary(k SummaryKey) (*BodySummary, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s, ok := c.m[k]
+	if ok {
+		c.hits++
+	}
+	return s, ok
+}
+
+func (c *fakeSummaryCache) PutSummary(k SummaryKey, s *BodySummary) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m[k] = s
+	c.puts++
+}
+
+const summaryProg = `
+int ro(const int *p) { return *p; }
+int wr(int *p) { *p = 1; return *p; }
+int both(int *a, int *b) { return ro(a) + wr(b); }
+`
+
+func analyzeCached(t *testing.T, src string, opts Options, c SummaryCache) *Report {
+	t.Helper()
+	f, err := cfront.Parse("test.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewAnalysis([]*cfront.File{f}, opts)
+	a.SetSummaryCache(c)
+	rep, err := a.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// TestSummaryCacheRoundTrip: a warm second run replays every fragment
+// and classifies identically.
+func TestSummaryCacheRoundTrip(t *testing.T) {
+	for _, opts := range []Options{{}, {Poly: true}} {
+		cold := analyze(t, summaryProg, opts)
+		c := newFakeSummaryCache()
+		first := analyzeCached(t, summaryProg, opts, c)
+		if c.puts != 3 {
+			t.Fatalf("puts = %d; want 3 (one per defined function)", c.puts)
+		}
+		warm := analyzeCached(t, summaryProg, opts, c)
+		if c.hits != 3 {
+			t.Fatalf("hits = %d; want 3", c.hits)
+		}
+		for _, rep := range []*Report{first, warm} {
+			if !reflect.DeepEqual(cold.Positions, rep.Positions) ||
+				cold.Constraints != rep.Constraints || cold.Vars != rep.Vars {
+				t.Fatalf("cached run classified differently:\ncold: %+v\ngot:  %+v", cold, rep)
+			}
+		}
+	}
+}
+
+// TestSummaryKeyPositionSensitive: constraint provenance embeds
+// positions, so a body whose lines shifted must key differently even
+// though its token stream is unchanged.
+func TestSummaryKeyPositionSensitive(t *testing.T) {
+	c := newFakeSummaryCache()
+	analyzeCached(t, summaryProg, Options{}, c)
+	analyzeCached(t, "\n"+summaryProg, Options{}, c) // everything one line down
+	if c.hits != 0 {
+		t.Fatalf("hits = %d after line shift; want 0 (positions are part of the key)", c.hits)
+	}
+	if c.puts != 6 {
+		t.Fatalf("puts = %d; want 6 (both variants stored)", c.puts)
+	}
+}
+
+// TestSummaryPolyRecBypass: polymorphic recursion keeps its sequential
+// iterate-to-fixpoint path and must not consult the cache.
+func TestSummaryPolyRecBypass(t *testing.T) {
+	c := newFakeSummaryCache()
+	analyzeCached(t, summaryProg, Options{Poly: true, PolyRec: true}, c)
+	if c.hits != 0 || c.puts != 0 {
+		t.Fatalf("polyrec touched the cache: hits=%d puts=%d", c.hits, c.puts)
+	}
+}
+
+// TestSummaryStaleCalleeRecomputes: a summary whose recorded callee does
+// not resolve is rejected (recomputed), never merged wrong.
+func TestSummaryStaleCalleeRecomputes(t *testing.T) {
+	f, err := cfront.Parse("test.c", summaryProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewAnalysis([]*cfront.File{f}, Options{})
+	a.Prepare()
+	if _, ok := a.resultFromSummary(&BodySummary{
+		Insts: []SummaryInst{{Callee: "no_such_function", At: 0}},
+	}); ok {
+		t.Fatal("summary with unresolvable callee was accepted")
+	}
+}
+
+// TestSummaryApproxBytes: the cost estimate grows with content, so
+// byte-bounded caches see real pressure.
+func TestSummaryApproxBytes(t *testing.T) {
+	small := (&BodySummary{}).ApproxBytes()
+	big := (&BodySummary{
+		Cons:   make([]constraint.Constraint, 100),
+		Pinned: make([]constraint.Var, 50),
+		Insts:  []SummaryInst{{Callee: "f", Ren: make([]RenPair, 10)}},
+	}).ApproxBytes()
+	if small <= 0 || big <= small {
+		t.Fatalf("ApproxBytes: small=%d big=%d", small, big)
+	}
+}

@@ -13,6 +13,7 @@
 package driver
 
 import (
+	"context"
 	"errors"
 	"os"
 	"runtime"
@@ -34,6 +35,13 @@ type Config struct {
 	// Uninit additionally runs the flow-sensitive
 	// definite-initialization check and reports its warnings.
 	Uninit bool
+	// Summaries, when non-nil, memoizes per-function constraint
+	// summaries across runs (see constinfer.SummaryCache and
+	// internal/cache): unchanged functions replay their cached
+	// fragments instead of re-deriving them, with byte-identical
+	// output. It is excluded from request cache keys — it changes
+	// cost, never results.
+	Summaries constinfer.SummaryCache
 }
 
 // Source is one input translation unit. When Text is empty the Load
@@ -123,6 +131,16 @@ func (r *Result) Errors() []Diagnostic {
 // error occurred, does the pipeline stop (Report stays nil). The
 // returned error is reserved for invalid invocations (no sources).
 func Run(cfg Config, sources []Source) (*Result, error) {
+	return RunContext(context.Background(), cfg, sources)
+}
+
+// RunContext is Run with cancellation: the context is checked at every
+// stage boundary (and between parses), and a cancelled or expired
+// context aborts the pipeline with ctx.Err(). Cancellation granularity
+// is the stage — a long Constrain or Solve runs to completion before the
+// deadline is noticed — which keeps every stage's determinism guarantees
+// intact.
+func RunContext(ctx context.Context, cfg Config, sources []Source) (*Result, error) {
 	if len(sources) == 0 {
 		return nil, errors.New("driver: no input sources")
 	}
@@ -145,6 +163,9 @@ func Run(cfg Config, sources []Source) (*Result, error) {
 		texts[i] = string(data)
 	}
 	res.Timings.Load = time.Since(start)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	// Parse: concurrent across files; diagnostics in input order.
 	start = time.Now()
@@ -153,7 +174,7 @@ func Run(cfg Config, sources []Source) (*Result, error) {
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
 	for i := range sources {
-		if loadErrs[i] != nil {
+		if loadErrs[i] != nil || ctx.Err() != nil {
 			continue
 		}
 		wg.Add(1)
@@ -167,6 +188,9 @@ func Run(cfg Config, sources []Source) (*Result, error) {
 	wg.Wait()
 	res.Timings.Parse = time.Since(start)
 	res.Files = files
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	for i, s := range sources {
 		if loadErrs[i] != nil {
@@ -179,7 +203,9 @@ func Run(cfg Config, sources []Source) (*Result, error) {
 		return res, nil
 	}
 
-	runAnalysis(cfg, res)
+	if err := runAnalysis(ctx, cfg, res); err != nil {
+		return nil, err
+	}
 	return res, nil
 }
 
@@ -191,27 +217,42 @@ func RunFiles(cfg Config, files []*cfront.File) (*Result, error) {
 		return nil, errors.New("driver: no input files")
 	}
 	res := &Result{Config: cfg, Files: files}
-	runAnalysis(cfg, res)
+	if err := runAnalysis(context.Background(), cfg, res); err != nil {
+		return nil, err
+	}
 	return res, nil
 }
 
 // runAnalysis drives the Build → Constrain → Solve → Classify stages and
-// the optional initialization check over res.Files.
-func runAnalysis(cfg Config, res *Result) {
+// the optional initialization check over res.Files, checking ctx at each
+// stage boundary.
+func runAnalysis(ctx context.Context, cfg Config, res *Result) error {
 	a := constinfer.NewAnalysis(res.Files, cfg.Options)
+	if cfg.Summaries != nil {
+		a.SetSummaryCache(cfg.Summaries)
+	}
 	res.Analysis = a
 
 	start := time.Now()
 	a.Prepare()
 	res.Timings.Build = time.Since(start)
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 
 	start = time.Now()
 	a.Constrain(cfg.Jobs)
 	res.Timings.Constrain = time.Since(start)
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 
 	start = time.Now()
 	conflicts := a.SolveSystem()
 	res.Timings.Solve = time.Since(start)
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 
 	start = time.Now()
 	res.Report = a.Classify(conflicts)
@@ -227,4 +268,5 @@ func runAnalysis(cfg Config, res *Result) {
 			}
 		}
 	}
+	return nil
 }

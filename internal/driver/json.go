@@ -69,6 +69,11 @@ type jsonTimings struct {
 	ConstrainMS float64 `json:"constrain_ms"`
 	SolveMS     float64 `json:"solve_ms"`
 	ClassifyMS  float64 `json:"classify_ms"`
+	EvalMS      float64 `json:"eval_ms"`
+	// AnalysisMS is Build+Constrain+Solve+Classify — the paper's
+	// Mono/Poly analysis-time column, precomputed so the experiment
+	// harness and the server share one schema.
+	AnalysisMS float64 `json:"analysis_ms"`
 }
 
 // Mode names the inference mode of a config.
@@ -140,6 +145,8 @@ func (r *Result) JSON() ([]byte, error) {
 		ConstrainMS: ms(t.Constrain),
 		SolveMS:     ms(t.Solve),
 		ClassifyMS:  ms(t.Classify),
+		EvalMS:      ms(t.Eval),
+		AnalysisMS:  ms(t.Analysis()),
 	}
 	return json.MarshalIndent(out, "", "  ")
 }

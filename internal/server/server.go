@@ -1,0 +1,340 @@
+// Package server wraps the staged analysis driver in a long-running
+// HTTP/JSON service — the resident form of the paper's Section 4.4 batch
+// experiment. POST /v1/analyze accepts a batch of C sources and returns
+// the same JSON report `cqual -json` emits; repeated requests for
+// unchanged sources are served from a content-addressed result cache,
+// and partially-changed programs re-derive only the fragments of the
+// functions that changed, via the shared per-function summary store.
+//
+// Endpoints:
+//
+//	POST /v1/analyze  — analyze a batch of sources; the response body is
+//	                    byte-identical to cqual -json over the same
+//	                    inputs, X-Cache reports hit or miss
+//	GET  /healthz     — liveness probe
+//	GET  /metrics     — JSON counters: requests, cache stats, per-stage
+//	                    timing aggregates
+//
+// A concurrency limiter bounds simultaneous analyses so N clients share
+// the constraint-generation worker pool instead of oversubscribing it;
+// each request runs under a deadline enforced at pipeline stage
+// boundaries. Graceful shutdown is the http.Server.Shutdown of the
+// enclosing daemon (cmd/cquald): the listener closes, in-flight requests
+// drain.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/constinfer"
+	"repro/internal/driver"
+)
+
+// Config sizes the server: worker pool, concurrency limit, deadlines,
+// and cache bounds. Zero values select the documented defaults.
+type Config struct {
+	// Jobs is the constraint-generation pool size per analysis
+	// (0 = GOMAXPROCS); requests may lower it per call but not raise it.
+	Jobs int
+	// MaxConcurrent bounds simultaneous analyses (0 = GOMAXPROCS).
+	MaxConcurrent int
+	// RequestTimeout is the per-request deadline including queue time
+	// (0 = 30s; negative = no deadline).
+	RequestTimeout time.Duration
+	// ResultEntries/ResultBytes bound the request-level result cache
+	// (0 = 1024 entries / 256 MiB).
+	ResultEntries int
+	ResultBytes   int64
+	// SummaryEntries/SummaryBytes bound the per-function summary store
+	// (0 = 65536 entries / 256 MiB).
+	SummaryEntries int
+	SummaryBytes   int64
+}
+
+// DefaultRequestTimeout is the per-request deadline when none is
+// configured.
+const DefaultRequestTimeout = 30 * time.Second
+
+// Server is the analysis service. Create with New; it implements
+// http.Handler and is safe for concurrent use.
+type Server struct {
+	cfg       Config
+	results   *cache.ResultCache
+	summaries *cache.SummaryStore
+	sem       chan struct{}
+	mux       *http.ServeMux
+	start     time.Time
+
+	requests atomic.Uint64 // analyze requests received
+	analyses atomic.Uint64 // analyses actually run (result-cache misses)
+	failures atomic.Uint64 // requests answered with a non-200 status
+	timeouts atomic.Uint64 // requests that hit their deadline
+	inFlight atomic.Int64  // analyze requests currently being served
+
+	tmu        sync.Mutex
+	stageTotal driver.Timings // summed wall-clock per stage over analyses
+	stageRuns  uint64
+}
+
+// New builds a server with the given configuration.
+func New(cfg Config) *Server {
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	if cfg.RequestTimeout == 0 {
+		cfg.RequestTimeout = DefaultRequestTimeout
+	}
+	if cfg.ResultEntries == 0 {
+		cfg.ResultEntries = 1024
+	}
+	if cfg.ResultBytes == 0 {
+		cfg.ResultBytes = 256 << 20
+	}
+	if cfg.SummaryEntries == 0 {
+		cfg.SummaryEntries = 65536
+	}
+	if cfg.SummaryBytes == 0 {
+		cfg.SummaryBytes = 256 << 20
+	}
+	s := &Server{
+		cfg:       cfg,
+		results:   cache.NewResultCache(cfg.ResultEntries, cfg.ResultBytes),
+		summaries: cache.NewSummaryStore(cfg.SummaryEntries, cfg.SummaryBytes),
+		sem:       make(chan struct{}, cfg.MaxConcurrent),
+		mux:       http.NewServeMux(),
+		start:     time.Now(),
+	}
+	s.mux.HandleFunc("/v1/analyze", s.handleAnalyze)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// AnalyzeRequest is the POST /v1/analyze body: a batch of named source
+// texts plus the cqual mode flags.
+type AnalyzeRequest struct {
+	Sources []SourceJSON `json:"sources"`
+	// Poly/PolyRec/Simplify/Uninit mirror the cqual flags.
+	Poly     bool `json:"poly,omitempty"`
+	PolyRec  bool `json:"polyrec,omitempty"`
+	Simplify bool `json:"simplify,omitempty"`
+	Uninit   bool `json:"uninit,omitempty"`
+	// Jobs bounds the constraint-generation pool for this request
+	// (0 = server default). Results are identical for every value.
+	Jobs int `json:"jobs,omitempty"`
+}
+
+// SourceJSON is one in-memory translation unit.
+type SourceJSON struct {
+	Path string `json:"path"`
+	Text string `json:"text"`
+}
+
+// errorJSON is the body of every non-200 response.
+type errorJSON struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) fail(w http.ResponseWriter, status int, format string, args ...any) {
+	s.failures.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(errorJSON{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	s.inFlight.Add(1)
+	defer s.inFlight.Add(-1)
+
+	if r.Method != http.MethodPost {
+		s.fail(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req AnalyzeRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.fail(w, http.StatusBadRequest, "invalid request: %v", err)
+		return
+	}
+	if len(req.Sources) == 0 {
+		s.fail(w, http.StatusBadRequest, "no sources")
+		return
+	}
+	if req.Jobs < 0 {
+		s.fail(w, http.StatusBadRequest, "jobs must be >= 0, got %d", req.Jobs)
+		return
+	}
+	jobs := req.Jobs
+	if jobs == 0 || (s.cfg.Jobs > 0 && jobs > s.cfg.Jobs) {
+		jobs = s.cfg.Jobs
+	}
+	sources := make([]driver.Source, len(req.Sources))
+	for i, src := range req.Sources {
+		if src.Path == "" {
+			s.fail(w, http.StatusBadRequest, "source %d has no path", i)
+			return
+		}
+		if src.Text == "" {
+			s.fail(w, http.StatusBadRequest, "source %q has no text (the server analyzes request-supplied texts, not server-side files)", src.Path)
+			return
+		}
+		sources[i] = driver.Source{Path: src.Path, Text: src.Text}
+	}
+	cfg := driver.Config{
+		Options: constinfer.Options{
+			Poly:     req.Poly || req.PolyRec,
+			PolyRec:  req.PolyRec,
+			Simplify: req.Simplify,
+		},
+		Jobs:      jobs,
+		Uninit:    req.Uninit,
+		Summaries: s.summaries,
+	}
+
+	key := cache.RequestKey(cfg, sources)
+	if report, ok := s.results.Get(key); ok {
+		s.writeReport(w, report, "hit")
+		return
+	}
+
+	ctx := r.Context()
+	if s.cfg.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
+		defer cancel()
+	}
+
+	// The limiter shares the worker pool across clients; the deadline
+	// covers queue time, so a saturated server sheds load instead of
+	// stacking it.
+	select {
+	case s.sem <- struct{}{}:
+		defer func() { <-s.sem }()
+	case <-ctx.Done():
+		s.deadline(w, ctx.Err())
+		return
+	}
+
+	res, err := driver.RunContext(ctx, cfg, sources)
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			s.deadline(w, err)
+		} else {
+			s.fail(w, http.StatusInternalServerError, "analysis failed: %v", err)
+		}
+		return
+	}
+	report, err := res.JSON()
+	if err != nil {
+		s.fail(w, http.StatusInternalServerError, "encoding report: %v", err)
+		return
+	}
+	s.analyses.Add(1)
+	s.recordTimings(res.Timings)
+	s.results.Put(key, report)
+	s.writeReport(w, report, "miss")
+}
+
+func (s *Server) deadline(w http.ResponseWriter, err error) {
+	s.timeouts.Add(1)
+	s.fail(w, http.StatusGatewayTimeout, "analysis aborted: %v", err)
+}
+
+func (s *Server) writeReport(w http.ResponseWriter, report []byte, cacheState string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Cache", cacheState)
+	w.Write(append(report, '\n'))
+}
+
+func (s *Server) recordTimings(t driver.Timings) {
+	s.tmu.Lock()
+	defer s.tmu.Unlock()
+	s.stageTotal.Load += t.Load
+	s.stageTotal.Parse += t.Parse
+	s.stageTotal.Build += t.Build
+	s.stageTotal.Constrain += t.Constrain
+	s.stageTotal.Solve += t.Solve
+	s.stageTotal.Classify += t.Classify
+	s.stageTotal.Eval += t.Eval
+	s.stageRuns++
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// Metrics is the GET /metrics response shape.
+type Metrics struct {
+	UptimeMS     float64     `json:"uptime_ms"`
+	Requests     uint64      `json:"requests"`
+	Analyses     uint64      `json:"analyses"`
+	Failures     uint64      `json:"failures"`
+	Timeouts     uint64      `json:"timeouts"`
+	InFlight     int64       `json:"in_flight"`
+	ResultCache  cache.Stats `json:"result_cache"`
+	SummaryCache cache.Stats `json:"summary_cache"`
+	Stages       StageTotals `json:"stages"`
+}
+
+// StageTotals sums per-stage wall-clock time over every analysis run
+// (result-cache hits spend time in no stage and are excluded).
+type StageTotals struct {
+	Runs        uint64  `json:"runs"`
+	LoadMS      float64 `json:"load_ms"`
+	ParseMS     float64 `json:"parse_ms"`
+	BuildMS     float64 `json:"build_ms"`
+	ConstrainMS float64 `json:"constrain_ms"`
+	SolveMS     float64 `json:"solve_ms"`
+	ClassifyMS  float64 `json:"classify_ms"`
+	AnalysisMS  float64 `json:"analysis_ms"`
+}
+
+// Snapshot returns the current metrics.
+func (s *Server) Snapshot() Metrics {
+	s.tmu.Lock()
+	t, runs := s.stageTotal, s.stageRuns
+	s.tmu.Unlock()
+	ms := func(d time.Duration) float64 { return d.Seconds() * 1000 }
+	return Metrics{
+		UptimeMS:     ms(time.Since(s.start)),
+		Requests:     s.requests.Load(),
+		Analyses:     s.analyses.Load(),
+		Failures:     s.failures.Load(),
+		Timeouts:     s.timeouts.Load(),
+		InFlight:     s.inFlight.Load(),
+		ResultCache:  s.results.Stats(),
+		SummaryCache: s.summaries.Stats(),
+		Stages: StageTotals{
+			Runs:        runs,
+			LoadMS:      ms(t.Load),
+			ParseMS:     ms(t.Parse),
+			BuildMS:     ms(t.Build),
+			ConstrainMS: ms(t.Constrain),
+			SolveMS:     ms(t.Solve),
+			ClassifyMS:  ms(t.Classify),
+			AnalysisMS:  ms(t.Analysis()),
+		},
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(s.Snapshot())
+}

@@ -1,0 +1,247 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/driver"
+)
+
+const prog = `
+int deref(const int *p) { return *p; }
+int entry(int *q) { return deref(q); }
+`
+
+func postAnalyze(t *testing.T, ts *httptest.Server, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/analyze", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+func analyzeBody(srcs map[string]string) string {
+	req := AnalyzeRequest{}
+	for p, text := range srcs {
+		req.Sources = append(req.Sources, SourceJSON{Path: p, Text: text})
+	}
+	b, _ := json.Marshal(req)
+	return string(b)
+}
+
+// TestAnalyzeMissThenHit is the acceptance check: the second POST of
+// unchanged sources is served from cache, byte-identical to the first,
+// and the hit is visible in /metrics.
+func TestAnalyzeMissThenHit(t *testing.T) {
+	ts := httptest.NewServer(New(Config{}))
+	defer ts.Close()
+
+	body := analyzeBody(map[string]string{"prog.c": prog})
+	r1, d1 := postAnalyze(t, ts, body)
+	if r1.StatusCode != 200 || r1.Header.Get("X-Cache") != "miss" {
+		t.Fatalf("first POST: status %d, X-Cache %q; want 200 miss", r1.StatusCode, r1.Header.Get("X-Cache"))
+	}
+	r2, d2 := postAnalyze(t, ts, body)
+	if r2.StatusCode != 200 || r2.Header.Get("X-Cache") != "hit" {
+		t.Fatalf("second POST: status %d, X-Cache %q; want 200 hit", r2.StatusCode, r2.Header.Get("X-Cache"))
+	}
+	if !bytes.Equal(d1, d2) {
+		t.Fatalf("cache hit not byte-identical to cold run:\n%s\n---\n%s", d1, d2)
+	}
+
+	// The local driver over the same sources must agree modulo timings
+	// (the cached response freezes the cold run's timings).
+	res, err := driver.Run(driver.Config{}, []driver.Source{{Path: "prog.c", Text: prog}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := res.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stripMS(string(d1)) != stripMS(string(local)+"\n") {
+		t.Fatalf("server report differs from local driver:\n%s\n---\n%s", d1, local)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m Metrics
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Requests != 2 || m.Analyses != 1 || m.ResultCache.Hits != 1 {
+		t.Fatalf("metrics = %+v; want 2 requests, 1 analysis, 1 result-cache hit", m)
+	}
+	if m.Stages.Runs != 1 {
+		t.Fatalf("stage runs = %d; want 1 (hits spend time in no stage)", m.Stages.Runs)
+	}
+}
+
+// stripMS removes the wall-clock lines (the only permitted variance).
+func stripMS(s string) string {
+	var out []string
+	for _, line := range strings.Split(s, "\n") {
+		if !strings.Contains(line, "_ms\"") {
+			out = append(out, line)
+		}
+	}
+	return strings.Join(out, "\n")
+}
+
+func TestAnalyzeBadRequests(t *testing.T) {
+	ts := httptest.NewServer(New(Config{}))
+	defer ts.Close()
+
+	for _, tc := range []struct {
+		name, body string
+		status     int
+	}{
+		{"empty", `{}`, 400},
+		{"no sources", `{"sources":[]}`, 400},
+		{"negative jobs", `{"sources":[{"path":"a.c","text":"int x;"}],"jobs":-1}`, 400},
+		{"missing path", `{"sources":[{"text":"int x;"}]}`, 400},
+		{"missing text", `{"sources":[{"path":"a.c"}]}`, 400},
+		{"unknown field", `{"sources":[{"path":"a.c","text":"int x;"}],"bogus":1}`, 400},
+		{"malformed", `{"sources":`, 400},
+	} {
+		resp, data := postAnalyze(t, ts, tc.body)
+		if resp.StatusCode != tc.status {
+			t.Errorf("%s: status %d; want %d (%s)", tc.name, resp.StatusCode, tc.status, data)
+			continue
+		}
+		var e errorJSON
+		if err := json.Unmarshal(data, &e); err != nil || e.Error == "" {
+			t.Errorf("%s: error body %q not JSON with error field", tc.name, data)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/analyze")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/analyze: status %d; want 405", resp.StatusCode)
+	}
+}
+
+// TestAnalyzeParseErrorStillReports: front-end failures are a valid
+// report (diagnostics, no summary), not an HTTP error.
+func TestAnalyzeParseErrorStillReports(t *testing.T) {
+	ts := httptest.NewServer(New(Config{}))
+	defer ts.Close()
+
+	resp, data := postAnalyze(t, ts, analyzeBody(map[string]string{"bad.c": "int f( {"}))
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d; want 200 (%s)", resp.StatusCode, data)
+	}
+	var rep struct {
+		Summary     *json.RawMessage  `json:"summary"`
+		Diagnostics []json.RawMessage `json:"diagnostics"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Summary != nil || len(rep.Diagnostics) == 0 {
+		t.Fatalf("want nil summary and diagnostics, got %s", data)
+	}
+}
+
+// TestAnalyzeDeadline: a deadline that cannot be met (it covers queue
+// time) answers 504 and counts a timeout.
+func TestAnalyzeDeadline(t *testing.T) {
+	srv := New(Config{RequestTimeout: time.Nanosecond})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	resp, _ := postAnalyze(t, ts, analyzeBody(map[string]string{"prog.c": prog}))
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d; want 504", resp.StatusCode)
+	}
+	if m := srv.Snapshot(); m.Timeouts != 1 {
+		t.Fatalf("timeouts = %d; want 1", m.Timeouts)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	ts := httptest.NewServer(New(Config{}))
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != 200 || strings.TrimSpace(string(data)) != "ok" {
+		t.Fatalf("healthz: %d %q", resp.StatusCode, data)
+	}
+}
+
+// TestConcurrentClients hammers one server with a mix of distinct
+// programs from many goroutines; under -race this exercises the caches,
+// the limiter, and the metrics. Every response must be byte-identical
+// to that program's first response.
+func TestConcurrentClients(t *testing.T) {
+	srv := New(Config{MaxConcurrent: 2})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	const variants = 4
+	bodies := make([]string, variants)
+	firsts := make([][]byte, variants)
+	for i := range bodies {
+		text := prog + fmt.Sprintf("int extra%d(int x) { return x + %d; }\n", i, i)
+		bodies[i] = analyzeBody(map[string]string{"prog.c": text})
+		resp, data := postAnalyze(t, ts, bodies[i])
+		if resp.StatusCode != 200 {
+			t.Fatalf("prime %d: status %d", i, resp.StatusCode)
+		}
+		firsts[i] = data
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				v := (g + i) % variants
+				resp, data := postAnalyze(t, ts, bodies[v])
+				if resp.StatusCode != 200 {
+					t.Errorf("goroutine %d: status %d", g, resp.StatusCode)
+					return
+				}
+				if !bytes.Equal(data, firsts[v]) {
+					t.Errorf("goroutine %d: response for variant %d differs from first", g, v)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	m := srv.Snapshot()
+	if m.Requests != variants+80 || m.Failures != 0 {
+		t.Fatalf("metrics = %+v; want %d requests, 0 failures", m, variants+80)
+	}
+	if m.ResultCache.Hits < 80 {
+		t.Fatalf("result-cache hits = %d; want >= 80", m.ResultCache.Hits)
+	}
+}
