@@ -1,19 +1,31 @@
-// Command cqual runs the const-inference system of Section 4 of "A
-// Theory of Type Qualifiers" (PLDI 1999) over one or more C files
-// analyzed as a single program.
+// Command cqual runs the qualifier-inference systems of "A Theory of
+// Type Qualifiers" (PLDI 1999) over one or more C files analyzed as a
+// single program. The default analysis is the Section 4 const
+// inference; -analysis selects others from the registry (see
+// -analyses), and several analyses named together run in one constraint
+// pass over a shared product lattice.
 //
 // Usage:
 //
-//	cqual [-poly] [-polyrec] [-simplify] [-v] [-json] [-serve URL] file.c ...
+//	cqual [-analysis LIST] [-prelude FILES] [-poly] [-polyrec] [-simplify] [-v] [-json] [-serve URL] file.c ...
+//	cqual -analyses
 //
 // For every "interesting" position (each pointer level of the parameters
 // and results of defined functions) cqual reports whether it must be
 // const, must not be const, or could be either; positions in the last two
 // classes that are not yet declared const are the consts the programmer
 // could add. Qualifier conflicts (writes through declared-const
-// references) are reported with their flow path and make the exit status
-// nonzero. All input files are parsed before exiting, so every parse
-// error is reported, not just the first.
+// references, tainted data reaching an untainted sink) are reported with
+// their step-by-step flow path and make the exit status nonzero. All
+// input files are parsed before exiting, so every parse error is
+// reported, not just the first.
+//
+// Analyses whose seeds and sinks live in library functions (taint) take
+// a prelude file via -prelude, e.g.
+//
+//	analysis taint
+//	getenv(_) -> tainted
+//	printf(untainted, ...)
 //
 // With -serve URL the files are not analyzed locally: they are POSTed to
 // a running cquald daemon at URL and the daemon's JSON report — which is
@@ -33,10 +45,14 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/analysis"
 	"repro/internal/constinfer"
 	"repro/internal/driver"
+	"repro/internal/qual"
 	"repro/internal/server"
 )
+
+const usage = "usage: cqual [-analysis LIST] [-prelude FILES] [-poly] [-polyrec] [-simplify] [-v] [-json] [-serve URL] file.c ..."
 
 func main() {
 	poly := flag.Bool("poly", false, "polymorphic qualifier inference (Section 4.3)")
@@ -49,22 +65,48 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit the report and diagnostics as JSON")
 	jobs := flag.Int("jobs", 0, "constraint-generation workers (0 = GOMAXPROCS; results are identical for every value)")
 	serve := flag.String("serve", "", "analyze via a running cquald daemon at this base URL instead of locally")
+	analysisFlag := flag.String("analysis", "const", "comma-separated qualifier analyses to run together (see -analyses)")
+	preludeFlag := flag.String("prelude", "", "comma-separated prelude files declaring library seeds and sinks")
+	listAnalyses := flag.Bool("analyses", false, "list the registered qualifier analyses and exit")
 	flag.Parse()
 
+	if *listAnalyses {
+		printAnalyses()
+		return
+	}
 	if *jobs < 0 {
 		fmt.Fprintln(os.Stderr, "cqual: -jobs must be >= 0")
-		fmt.Fprintln(os.Stderr, "usage: cqual [-poly] [-polyrec] [-simplify] [-v] [-json] [-serve URL] file.c ...")
+		fmt.Fprintln(os.Stderr, usage)
 		os.Exit(2)
 	}
+	analyses := splitList(*analysisFlag)
+	for _, name := range analyses {
+		if _, ok := analysis.Lookup(name); !ok {
+			fmt.Fprintf(os.Stderr, "cqual: unknown analysis %q (registered: %s)\n",
+				name, strings.Join(analysis.Names(), ", "))
+			fmt.Fprintln(os.Stderr, usage)
+			os.Exit(2)
+		}
+	}
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: cqual [-poly] [-polyrec] [-simplify] [-v] [-json] [-serve URL] file.c ...")
+		fmt.Fprintln(os.Stderr, usage)
 		os.Exit(2)
+	}
+	var preludes []driver.PreludeFile
+	for _, path := range splitList(*preludeFlag) {
+		text, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cqual:", err)
+			os.Exit(2)
+		}
+		preludes = append(preludes, driver.PreludeFile{Path: path, Text: string(text)})
 	}
 
 	if *serve != "" {
 		os.Exit(runRemote(*serve, remoteOptions{
 			poly: *poly, polyrec: *polyrec, simplify: *simplify || *schemes,
 			uninit: *uninit, jobs: *jobs,
+			analyses: analyses, preludes: preludes,
 		}, flag.Args()))
 	}
 
@@ -74,8 +116,10 @@ func main() {
 			PolyRec:  *polyrec,
 			Simplify: *simplify || *schemes,
 		},
-		Jobs:   *jobs,
-		Uninit: *uninit,
+		Jobs:     *jobs,
+		Uninit:   *uninit,
+		Analyses: analyses,
+		Preludes: preludes,
 	}
 	res, err := driver.Run(cfg, driver.FileSources(flag.Args()...))
 	if err != nil {
@@ -102,16 +146,28 @@ func main() {
 		return
 	}
 
+	for _, d := range res.Diagnostics {
+		if d.Severity == driver.SevWarning && d.Stage == driver.StageBuild {
+			fmt.Fprintln(os.Stderr, "cqual: warning:", d.Message)
+		}
+	}
+
 	rep := res.Report
-	if *verbose {
+	constSelected := false
+	for _, name := range analyses {
+		if name == "const" {
+			constSelected = true
+		}
+	}
+	if *verbose && constSelected {
 		printPositions(rep)
 	}
-	if *suggest {
+	if *suggest && constSelected {
 		for _, s := range rep.Suggested {
 			fmt.Printf("%s: %s\n    was: %s\n    now: %s\n", s.Pos, s.Func, s.Old, s.New)
 		}
 	}
-	if *schemes {
+	if *schemes && constSelected {
 		names := make([]string, 0, len(rep.Positions))
 		seen := map[string]bool{}
 		for _, p := range rep.Positions {
@@ -127,7 +183,23 @@ func main() {
 			}
 		}
 	}
-	printSummary(rep, cfg.Options)
+	if constSelected {
+		printSummary(rep, cfg.Options)
+	} else {
+		// The position summary is const-specific; other analyses report
+		// per-analysis conflict counts instead.
+		counts := map[string]int{}
+		for _, d := range res.Diagnostics {
+			if d.Code == "qualifier-conflict" {
+				counts[d.Analysis]++
+			}
+		}
+		fmt.Printf("qualifier analysis (%s): %d functions, %d constraints\n",
+			strings.Join(analyses, ", "), rep.Functions, rep.Constraints)
+		for _, name := range analyses {
+			fmt.Printf("  %-10s %d conflict(s)\n", name+":", counts[name])
+		}
+	}
 
 	if *uninit {
 		warned := 0
@@ -140,18 +212,66 @@ func main() {
 		fmt.Printf("definite-initialization: %d warning(s)\n", warned)
 	}
 
-	if len(rep.Conflicts) > 0 {
-		fmt.Printf("\n%d qualifier conflict(s):\n", len(rep.Conflicts))
-		for _, c := range rep.Conflicts {
-			fmt.Println("  " + c.Error())
+	var conflicts []driver.Diagnostic
+	for _, d := range res.Diagnostics {
+		if d.Code == "qualifier-conflict" {
+			conflicts = append(conflicts, d)
+		}
+	}
+	if len(conflicts) > 0 {
+		fmt.Printf("\n%d qualifier conflict(s):\n", len(conflicts))
+		for _, d := range conflicts {
+			fmt.Println("  " + strings.ReplaceAll(d.String(), "\n", "\n  "))
 		}
 		os.Exit(1)
+	}
+}
+
+// splitList splits a comma-separated flag value, trimming blanks.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// printAnalyses lists the registry for -analyses: every analysis with
+// its qualifier, lattice sign, prelude expectations, and annotation
+// vocabulary.
+func printAnalyses() {
+	for _, name := range analysis.Names() {
+		a, _ := analysis.Lookup(name)
+		sign := "positive"
+		if a.Qual.Sign == qual.Negative {
+			sign = "negative"
+		}
+		qualifier := a.Qual.Name
+		if a.Qual.NegName != "" {
+			qualifier += " (absence: " + a.Qual.NegName + ")"
+		}
+		prelude := "optional"
+		if a.WantsPrelude {
+			prelude = "recommended (seeds and sinks come from -prelude)"
+		}
+		fmt.Printf("%s — %s\n", a.Name, a.Doc)
+		fmt.Printf("  qualifier:   %s, %s\n", qualifier, sign)
+		fmt.Printf("  prelude:     %s\n", prelude)
+		var anns []string
+		for _, n := range a.AnnotationNames() {
+			anns = append(anns, fmt.Sprintf("%s (%s)", n, a.Annotations[n].Kind))
+		}
+		fmt.Printf("  annotations: %s\n", strings.Join(anns, ", "))
 	}
 }
 
 type remoteOptions struct {
 	poly, polyrec, simplify, uninit bool
 	jobs                            int
+	analyses                        []string
+	preludes                        []driver.PreludeFile
 }
 
 // runRemote is the -serve client: it reads the files locally, POSTs them
@@ -165,6 +285,10 @@ func runRemote(base string, opts remoteOptions, paths []string) int {
 		Simplify: opts.simplify,
 		Uninit:   opts.uninit,
 		Jobs:     opts.jobs,
+		Analyses: opts.analyses,
+	}
+	for _, p := range opts.preludes {
+		req.Preludes = append(req.Preludes, server.PreludeJSON{Path: p.Path, Text: p.Text})
 	}
 	for _, p := range paths {
 		text, err := os.ReadFile(p)

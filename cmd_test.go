@@ -191,6 +191,81 @@ func stripTimings(s string) string {
 	return s[:i] + s[i+end+1:]
 }
 
+// TestCqualTaint: the taint analysis over the seeded examples/taint-c
+// corpus reports every planted source→sink violation with its multi-hop
+// flow trace, byte-identical across worker counts; -analyses lists the
+// registry and an unknown -analysis is a usage error.
+func TestCqualTaint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden CLI tests in -short mode")
+	}
+	bin := buildCqual(t)
+	corpus, err := filepath.Glob("examples/taint-c/*.c")
+	if err != nil || len(corpus) != 3 {
+		t.Fatalf("taint corpus missing: %v (%d files)", err, len(corpus))
+	}
+	args := append([]string{"-analysis", "taint", "-prelude", "examples/taint-c/taint.q"}, corpus...)
+
+	run := func(jobs string) string {
+		t.Helper()
+		out, err := exec.Command(bin, append([]string{"-jobs", jobs}, args...)...).CombinedOutput()
+		exit, ok := err.(*exec.ExitError)
+		if !ok || exit.ExitCode() != 1 {
+			t.Fatalf("want exit 1 on planted violations, got %v\n%s", err, out)
+		}
+		return string(out)
+	}
+	out := run("1")
+	if !strings.Contains(out, "4 qualifier conflict(s):") {
+		t.Errorf("planted violations not all found:\n%s", out)
+	}
+	// Every planted sink is reported, and the longest flow (network.c:
+	// getenv → local → helper param → return → local → system) keeps its
+	// full hop sequence.
+	for _, want := range []string{
+		`argument 1 of "printf" must be untainted`,
+		`argument 1 of "system" must be untainted`,
+		`result of "getenv" is tainted (prelude)`,
+		`argument 1 of "fgets" is tainted`,
+		"(function argument)",
+		"(returned value)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if got := strings.Count(out, "flow:"); got < 8 {
+		t.Errorf("only %d flow hops rendered, want the full multi-hop traces:\n%s", got, out)
+	}
+	for _, jobs := range []string{"4", "8"} {
+		if got := run(jobs); got != out {
+			t.Errorf("-jobs %s differs from -jobs 1\n--- jobs 1 ---\n%s\n--- jobs %s ---\n%s", jobs, out, jobs, got)
+		}
+	}
+
+	// The registry listing names both built-in analyses and their
+	// vocabularies.
+	list, err := exec.Command(bin, "-analyses").CombinedOutput()
+	if err != nil {
+		t.Fatalf("cqual -analyses: %v\n%s", err, list)
+	}
+	for _, want := range []string{"const", "taint", "tainted (seed)", "untainted (sink)", "negative"} {
+		if !strings.Contains(string(list), want) {
+			t.Errorf("-analyses listing missing %q:\n%s", want, list)
+		}
+	}
+
+	// Unknown analyses are usage errors naming the registry.
+	out2, err := exec.Command(bin, "-analysis", "leak", corpus[0]).CombinedOutput()
+	exit, ok := err.(*exec.ExitError)
+	if !ok || exit.ExitCode() != 2 {
+		t.Fatalf("cqual -analysis leak: want exit 2, got %v\n%s", err, out2)
+	}
+	if !strings.Contains(string(out2), `unknown analysis "leak" (registered: const, taint)`) {
+		t.Errorf("unknown-analysis error not helpful:\n%s", out2)
+	}
+}
+
 // TestCqualJSON: the -json flag emits a well-formed report.
 func TestCqualJSON(t *testing.T) {
 	if testing.Short() {
@@ -348,6 +423,28 @@ func TestCqualdDaemonSmoke(t *testing.T) {
 	exit, ok := err.(*exec.ExitError)
 	if !ok || exit.ExitCode() != 1 {
 		t.Fatalf("conflict via -serve: want exit 1, got %v\n%s", err, out)
+	}
+
+	// Taint round-trip: the daemon runs the prelude-driven analysis,
+	// reports the planted flow, and the warm repeat is byte-identical.
+	taintArgs := []string{"-serve", addr, "-analysis", "taint", "-prelude", "examples/taint-c/taint.q",
+		"examples/taint-c/format.c", "examples/taint-c/network.c", "examples/taint-c/buffer.c"}
+	taint1, err := exec.Command(cqual, taintArgs...).Output()
+	exitT, ok := err.(*exec.ExitError)
+	if !ok || exitT.ExitCode() != 1 {
+		t.Fatalf("taint via -serve (cold): want exit 1, got %v\n%s", err, taint1)
+	}
+	for _, want := range []string{`"analyses"`, "taint", "qualifier-conflict", `result of \"getenv\" is tainted`} {
+		if !strings.Contains(string(taint1), want) {
+			t.Errorf("daemon taint report missing %q:\n%s", want, taint1)
+		}
+	}
+	taint2, err := exec.Command(cqual, taintArgs...).Output()
+	if exitT, ok = err.(*exec.ExitError); !ok || exitT.ExitCode() != 1 {
+		t.Fatalf("taint via -serve (warm): want exit 1, got %v", err)
+	}
+	if string(taint1) != string(taint2) {
+		t.Fatal("warm taint response not byte-identical to cold")
 	}
 
 	// Graceful shutdown: SIGTERM drains and exits 0.

@@ -1,0 +1,15 @@
+/* buffer.c — taint through an output parameter: fgets marks the buffer
+ * it fills (and its returned alias) as tainted. Two planted violations,
+ * one per alias of the same tainted line. */
+
+extern char *fgets(char *buf, int n, char *stream);
+extern char *stdin_stream(void);
+extern int system(const char *cmd);
+extern char *alloc(int n);
+
+int buffer_taint_main(void) {
+    char *line = alloc(128);
+    char *got = fgets(line, 128, stdin_stream());
+    system(line);        /* BAD: fgets filled the buffer with input */
+    return system(got);  /* BAD: the returned alias is tainted too */
+}

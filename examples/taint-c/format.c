@@ -1,0 +1,17 @@
+/* format.c — the classic format-string bug: an environment variable
+ * used directly as a printf format. One planted violation (the
+ * getenv("USER") path); the literal and sanitized calls are clean. */
+
+extern char *getenv(const char *name);
+extern int printf(const char *fmt, ...);
+extern char *sanitize(char *s);
+
+int format_main(void) {
+    char *user = getenv("USER");
+    char *greeting = "hello, %s fans\n";
+    char *vetted = sanitize(getenv("LANG"));
+
+    printf(greeting, "qualifier"); /* ok: literal format */
+    printf(vetted);                /* ok: sanitized */
+    return printf(user);           /* BAD: tainted format string */
+}

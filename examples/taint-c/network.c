@@ -1,0 +1,20 @@
+/* network.c — a multi-hop flow: the tainted environment value travels
+ * through a local, a defined helper's parameter, its return value, and
+ * a second local before reaching the system() sink. One planted
+ * violation. */
+
+extern char *getenv(const char *name);
+extern int system(const char *cmd);
+
+static char *pick(char *primary, char *fallback, int use_primary) {
+    if (use_primary)
+        return primary;
+    return fallback;
+}
+
+int network_main(void) {
+    char *remote = getenv("REMOTE_CMD");
+    char *local = "true";
+    char *chosen = pick(remote, local, 1);
+    return system(chosen); /* BAD: tainted command, 4 hops from getenv */
+}

@@ -1,0 +1,17 @@
+# taint.q — prelude for the taint analysis over examples/taint-c.
+#
+# Seeds mark library results (or output parameters) that carry
+# attacker-controlled data; sinks mark arguments that must never
+# receive it. Underscore leaves a position unconstrained.
+analysis taint
+
+# Environment and input are attacker-controlled.
+getenv(_) -> tainted
+fgets(tainted, _, _) -> tainted
+
+# Format strings and shell commands must be clean.
+printf(untainted, ...)
+system(untainted)
+
+# A vetting routine launders its input.
+sanitize(_) -> untainted

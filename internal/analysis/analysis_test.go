@@ -1,0 +1,179 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/constraint"
+	"repro/internal/qual"
+)
+
+func TestRegistryBuiltins(t *testing.T) {
+	for _, name := range []string{"const", "taint"} {
+		a, ok := Lookup(name)
+		if !ok {
+			t.Fatalf("builtin analysis %q not registered", name)
+		}
+		if a.Name != name {
+			t.Errorf("Lookup(%q).Name = %q", name, a.Name)
+		}
+	}
+	names := Names()
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Errorf("Names() not sorted: %v", names)
+		}
+	}
+	if c, _ := Lookup("const"); c.Qual.Sign != qual.Positive {
+		t.Error("const is not a positive qualifier")
+	}
+	tt, _ := Lookup("taint")
+	if tt.Qual.Sign != qual.Negative || tt.Qual.NegName != "tainted" {
+		t.Errorf("taint qualifier = %+v", tt.Qual)
+	}
+	if !tt.WantsPrelude {
+		t.Error("taint does not want a prelude")
+	}
+	if got := tt.AnnotationNames(); len(got) != 2 || got[0] != "tainted" || got[1] != "untainted" {
+		t.Errorf("taint vocabulary = %v", got)
+	}
+}
+
+func TestRegisterPanics(t *testing.T) {
+	mustPanic := func(name string, a *Analysis) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("Register(%s) did not panic", name)
+			}
+		}()
+		Register(a)
+	}
+	mustPanic("empty", &Analysis{})
+	mustPanic("duplicate", &Analysis{Name: "const"})
+}
+
+func TestNewSuiteErrors(t *testing.T) {
+	if _, err := NewSuite([]string{"nonsense"}, nil); err == nil || !strings.Contains(err.Error(), "registered:") {
+		t.Errorf("unknown analysis error = %v", err)
+	}
+	if _, err := NewSuite([]string{"const", "const"}, nil); err == nil || !strings.Contains(err.Error(), "twice") {
+		t.Errorf("duplicate analysis error = %v", err)
+	}
+	pre, err := ParsePrelude("t.q", "analysis taint\ngetenv(_) -> tainted\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewSuite([]string{"const"}, []*Prelude{pre}); err == nil || !strings.Contains(err.Error(), "not enabled") {
+		t.Errorf("prelude for disabled analysis error = %v", err)
+	}
+}
+
+func TestDefaultSuite(t *testing.T) {
+	s := Default()
+	if got := s.Names(); len(got) != 1 || got[0] != "const" {
+		t.Errorf("Default().Names() = %v", got)
+	}
+	if b := s.Binding("const"); b == nil || b.A.Name != "const" {
+		t.Errorf("Default const binding = %+v", b)
+	}
+}
+
+// TestBindingApply checks the lattice orientation of seeds and sinks for
+// the negative taint qualifier: a seed introduces the tainted (top)
+// component value, a sink upper-bounds with untainted (bottom), and a
+// variable carrying both is a conflict.
+func TestBindingApply(t *testing.T) {
+	suite, err := NewSuite([]string{"taint"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := suite.Binding("taint")
+	sys := constraint.NewSystem(suite.Set())
+	v := sys.Fresh()
+	b.Apply(sys, "tainted", constraint.V(v), constraint.Reason{Msg: "seed"})
+	b.Apply(sys, "untainted", constraint.V(v), constraint.Reason{Msg: "sink"})
+	unsat := sys.Solve()
+	if len(unsat) != 1 {
+		t.Fatalf("seed+sink on one var: %d conflicts, want 1", len(unsat))
+	}
+	if got := unsat[0].Con.Why.Msg; got != "sink" {
+		t.Errorf("conflict surfaced at %q, want the sink constraint", got)
+	}
+	if sys.Lower(v)&b.Mask == 0 {
+		t.Error("seed did not raise the taint component of the variable")
+	}
+
+	// The untainted seed value is the component bottom, so seeding it is
+	// a no-op; likewise a tainted "sink" would be the component top.
+	sys2 := constraint.NewSystem(suite.Set())
+	w := sys2.Fresh()
+	b.Apply(sys2, "untainted", constraint.V(w), constraint.Reason{Msg: "sink"})
+	if n := sys2.NumConstraints(); n != 1 {
+		t.Errorf("sink emitted %d constraints, want 1", n)
+	}
+	if got := sys2.Solve(); len(got) != 0 {
+		t.Errorf("sink alone conflicts: %v", got)
+	}
+}
+
+func TestSuiteOwner(t *testing.T) {
+	suite, err := NewSuite([]string{"const", "taint"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	constMask := suite.Binding("const").Mask
+	taintMask := suite.Binding("taint").Mask
+	if constMask == taintMask {
+		t.Fatalf("analyses share a component: %x", constMask)
+	}
+	if got := suite.Owner(constMask); got != "const" {
+		t.Errorf("Owner(const component) = %q", got)
+	}
+	if got := suite.Owner(taintMask); got != "taint" {
+		t.Errorf("Owner(taint component) = %q", got)
+	}
+	if got := suite.Owner(0); got != "" {
+		t.Errorf("Owner(0) = %q, want empty", got)
+	}
+}
+
+// TestFingerprint: the suite fingerprint must separate every input that
+// can change analysis results — the analysis set, prelude presence, and
+// prelude text — and must be stable for identical inputs.
+func TestFingerprint(t *testing.T) {
+	mk := func(names []string, preludeText string) string {
+		t.Helper()
+		var pres []*Prelude
+		if preludeText != "" {
+			p, err := ParsePrelude("t.q", preludeText)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pres = append(pres, p)
+		}
+		s, err := NewSuite(names, pres)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s.Fingerprint()
+	}
+	base := mk([]string{"taint"}, "")
+	if mk([]string{"taint"}, "") != base {
+		t.Error("fingerprint not stable for identical inputs")
+	}
+	seen := map[string]string{"taint, no prelude": base}
+	for label, fp := range map[string]string{
+		"const only":      mk([]string{"const"}, ""),
+		"const+taint":     mk([]string{"const", "taint"}, ""),
+		"taint+prelude":   mk([]string{"taint"}, "analysis taint\ngetenv(_) -> tainted\n"),
+		"taint+prelude 2": mk([]string{"taint"}, "analysis taint\nsystem(untainted)\n"),
+	} {
+		for prev, pfp := range seen {
+			if fp == pfp {
+				t.Errorf("fingerprint collision between %s and %s", label, prev)
+			}
+		}
+		seen[label] = fp
+	}
+}

@@ -1,0 +1,143 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParsePrelude(t *testing.T) {
+	text := `# taint prelude
+analysis taint
+
+getenv(_) -> tainted
+fgets(tainted, _, _) -> tainted
+printf(untainted, ...)   # format sink
+system(untainted)
+`
+	p, err := ParsePrelude("taint.q", text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Analysis != "taint" {
+		t.Errorf("Analysis = %q", p.Analysis)
+	}
+	if want := []string{"getenv", "fgets", "printf", "system"}; strings.Join(p.Funcs, ",") != strings.Join(want, ",") {
+		t.Errorf("Funcs = %v, want declaration order %v", p.Funcs, want)
+	}
+
+	ge := p.Entries["getenv"]
+	if len(ge.Params) != 1 || ge.Params[0] != Wildcard || ge.Result != "tainted" || ge.Variadic {
+		t.Errorf("getenv entry = %+v", ge)
+	}
+	if ge.Pos != "taint.q:4" {
+		t.Errorf("getenv Pos = %q", ge.Pos)
+	}
+
+	fg := p.Entries["fgets"]
+	if len(fg.Params) != 3 || fg.Params[0] != "tainted" || fg.Result != "tainted" {
+		t.Errorf("fgets entry = %+v", fg)
+	}
+
+	pf := p.Entries["printf"]
+	if !pf.Variadic || len(pf.Params) != 1 || pf.Params[0] != "untainted" || pf.Result != "" {
+		t.Errorf("printf entry = %+v", pf)
+	}
+	// Variadic extras and out-of-range positions are unconstrained.
+	if pf.Param(0) != "untainted" || pf.Param(1) != "" || pf.Param(-1) != "" {
+		t.Error("Param indexing broken")
+	}
+}
+
+func TestParsePreludeErrors(t *testing.T) {
+	cases := []struct {
+		name, text, wantErr string
+	}{
+		{"empty", "", `empty prelude`},
+		{"comment only", "# nothing\n", `empty prelude`},
+		{"entry before header", "getenv(_) -> tainted\n", `p.q:1: missing "analysis`},
+		{"unknown analysis", "analysis smell\n", `p.q:1: unknown analysis "smell" (registered:`},
+		{"duplicate header", "analysis taint\nanalysis taint\n", `p.q:2: duplicate analysis header`},
+		{"malformed header", "analysis ta int\n", `p.q:1: malformed analysis header`},
+		{"missing parens", "analysis taint\ngetenv\n", `p.q:2: malformed entry`},
+		{"missing close", "analysis taint\ngetenv(_ -> tainted\n", `p.q:2: entry for "getenv" is missing ')'`},
+		{"bad fn name", "analysis taint\n2fn(_)\n", `p.q:2: malformed function name`},
+		{"unknown annotation", "analysis taint\ngetenv(_) -> poison\n",
+			`p.q:2: unknown annotation "poison" in entry for "getenv" (analysis "taint" accepts: tainted, untainted)`},
+		{"mid dots", "analysis taint\nprintf(..., untainted)\n", `"..." must be the last parameter`},
+		{"trailing junk", "analysis taint\ngetenv(_) tainted\n", `unexpected trailing`},
+		{"duplicate entry", "analysis taint\ngetenv(_)\ngetenv(_)\n", `p.q:3: duplicate entry for "getenv" (previous at p.q:2)`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ParsePrelude("p.q", c.text)
+			if err == nil {
+				t.Fatalf("ParsePrelude(%q) succeeded", c.text)
+			}
+			if !strings.Contains(err.Error(), c.wantErr) {
+				t.Errorf("error = %q, want substring %q", err, c.wantErr)
+			}
+		})
+	}
+}
+
+func TestPreludeMerge(t *testing.T) {
+	p1, err := ParsePrelude("a.q", "analysis taint\ngetenv(_) -> tainted\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := ParsePrelude("b.q", "analysis taint\nsystem(untainted)\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := p1.Merge(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Entries) != 2 || m.Path != "a.q,b.q" {
+		t.Errorf("merged = %+v", m)
+	}
+	if _, err := p1.Merge(p1); err == nil || !strings.Contains(err.Error(), "duplicate prelude entry") {
+		t.Errorf("self-merge error = %v", err)
+	}
+}
+
+// FuzzParsePrelude: the parser must never panic and must uphold its
+// invariants on every accepted input — a known target analysis, verified
+// annotation names, and positions inside the file.
+func FuzzParsePrelude(f *testing.F) {
+	f.Add("analysis taint\ngetenv(_) -> tainted\nprintf(untainted, ...)\n")
+	f.Add("analysis const\nmemcpy(const, const)\n")
+	f.Add("# only a comment")
+	f.Add("analysis taint\n\xff\xfe(\x00)\n")
+	f.Add("analysis taint\nf(tainted, ..., untainted)\n")
+	f.Fuzz(func(t *testing.T, text string) {
+		p, err := ParsePrelude("f.q", text)
+		if err != nil {
+			return
+		}
+		a, ok := Lookup(p.Analysis)
+		if !ok {
+			t.Fatalf("accepted prelude for unregistered analysis %q", p.Analysis)
+		}
+		if len(p.Funcs) != len(p.Entries) {
+			t.Fatalf("Funcs/Entries out of sync: %d vs %d", len(p.Funcs), len(p.Entries))
+		}
+		for _, fn := range p.Funcs {
+			e := p.Entries[fn]
+			if e == nil || e.Func != fn {
+				t.Fatalf("entry for %q missing or mislabeled", fn)
+			}
+			for _, ann := range append(append([]string(nil), e.Params...), e.Result) {
+				if ann == "" || ann == Wildcard {
+					continue
+				}
+				if _, ok := a.Annotations[ann]; !ok {
+					t.Fatalf("accepted unknown annotation %q", ann)
+				}
+			}
+			if !strings.HasPrefix(e.Pos, "f.q:") {
+				t.Fatalf("entry Pos %q not in file", e.Pos)
+			}
+		}
+	})
+}

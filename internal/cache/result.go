@@ -13,17 +13,23 @@ type Key [sha256.Size]byte
 
 // RequestKey derives the result-cache key for an analysis request. It
 // hashes the inference mode (poly/polyrec/simplify, the poly-rec
-// iteration bound), the jobs setting, the uninit flag, and every
-// source's path and text, length-prefixed so concatenations cannot
-// collide. Sources must carry their text: a path-only source would key
-// on the name rather than the content. cfg.Summaries is deliberately
-// excluded — a summary cache changes how fast a result is derived, never
-// what it is.
+// iteration bound), the jobs setting, the uninit flag, the selected
+// analyses, every prelude's path and text, and every source's path and
+// text, all length-prefixed so concatenations cannot collide. Sources
+// must carry their text: a path-only source would key on the name rather
+// than the content. cfg.Summaries is deliberately excluded — a summary
+// cache changes how fast a result is derived, never what it is.
 func RequestKey(cfg driver.Config, sources []driver.Source) Key {
 	h := sha256.New()
 	fmt.Fprintf(h, "cfg:%t,%t,%t,%d,%d,%t;",
 		cfg.Options.Poly, cfg.Options.PolyRec, cfg.Options.Simplify,
 		cfg.Options.MaxPolyRecIters, cfg.Jobs, cfg.Uninit)
+	for _, a := range cfg.AnalysisNames() {
+		fmt.Fprintf(h, "an:%d:%s;", len(a), a)
+	}
+	for _, p := range cfg.Preludes {
+		fmt.Fprintf(h, "pre:%d:%s%d:%s", len(p.Path), p.Path, len(p.Text), p.Text)
+	}
 	for _, s := range sources {
 		fmt.Fprintf(h, "src:%d:%s%d:%s", len(s.Path), s.Path, len(s.Text), s.Text)
 	}

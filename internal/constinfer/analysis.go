@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/analysis"
 	"repro/internal/cfront"
 	"repro/internal/constraint"
 	"repro/internal/qual"
@@ -25,6 +26,10 @@ type Options struct {
 	PolyRec bool
 	// MaxPolyRecIters bounds the Kleene iteration (default 4).
 	MaxPolyRecIters int
+	// Suite selects the qualifier analyses to run together in one
+	// constraint pass over the shared product lattice (see
+	// internal/analysis). Nil selects the classic const-only suite.
+	Suite *analysis.Suite
 }
 
 // Verdict classifies one const position (the paper's three outcomes).
@@ -151,8 +156,11 @@ type Analysis struct {
 	enums     map[string]bool
 	positions []*Position
 
-	notConst  qual.Elem
-	constMask qual.Elem
+	// suite holds the bound analyses; constActive caches whether the
+	// const analysis is among them (position classification is
+	// const-specific and skipped otherwise).
+	suite       *analysis.Suite
+	constActive bool
 
 	// Staged-pipeline state, filled by Prepare.
 	globalDecls []*cfront.VarDecl
@@ -170,27 +178,34 @@ type Analysis struct {
 
 // NewAnalysis prepares an analysis over the parsed files.
 func NewAnalysis(files []*cfront.File, opts Options) *Analysis {
-	set := qual.MustSet(qual.Qualifier{Name: "const", Sign: qual.Positive})
+	suite := opts.Suite
+	if suite == nil {
+		suite = analysis.Default()
+	}
+	set := suite.Set()
 	sys := constraint.NewSystem(set)
 	if opts.MaxPolyRecIters <= 0 {
 		opts.MaxPolyRecIters = 4
 	}
 	return &Analysis{
-		opts:      opts,
-		set:       set,
-		sys:       sys,
-		tr:        newTranslator(sys),
-		files:     files,
-		globals:   make(map[string]*RType),
-		funcs:     make(map[string]*funcInfo),
-		enums:     make(map[string]bool),
-		notConst:  set.MustNot("const"),
-		constMask: set.MustMask("const"),
+		opts:        opts,
+		set:         set,
+		sys:         sys,
+		tr:          newTranslator(sys, suite),
+		files:       files,
+		globals:     make(map[string]*RType),
+		funcs:       make(map[string]*funcInfo),
+		enums:       make(map[string]bool),
+		suite:       suite,
+		constActive: suite.Binding("const") != nil,
 	}
 }
 
 // Set returns the qualifier set the analysis runs over.
 func (a *Analysis) Set() *qual.Set { return a.set }
+
+// Suite returns the bound analysis suite.
+func (a *Analysis) Suite() *analysis.Suite { return a.suite }
 
 // Analyze parses nothing itself: it consumes parsed files, generates
 // constraints, solves, and classifies.
@@ -397,19 +412,48 @@ func (a *Analysis) definedFuncs() []*funcInfo {
 	return out
 }
 
-// makeLibSignature builds the signature of an undefined function with the
-// conservative non-const bounds.
+// makeLibSignature builds the signature of an undefined function. Per
+// analysis, either a prelude entry speaks for the function — its result
+// annotation attaches to the shared signature here, while parameter
+// annotations apply per call site (preludeArg) — or the analysis's
+// conservative LibRef rule runs over every reference level of every
+// parameter (for const: parameters not declared const are treated as
+// written through).
 func (a *Analysis) makeLibSignature(fi *funcInfo) {
 	a.tr.pinning = true
 	fi.sig = a.tr.RValue(fi.decl.Type)
 	a.tr.pinning = false
-	for _, p := range fi.sig.Params {
-		for _, pr := range collectPositions(p, 0, nil) {
-			if !pr.ref.DeclaredConst {
-				a.sys.AddMasked(pr.ref.Q, constraint.C(a.notConst), a.constMask,
-					constraint.Reason{Pos: fi.decl.Pos.String(),
-						Msg: fmt.Sprintf("library function %q may write through its parameter", fi.name)})
+	for _, b := range a.suite.Bindings() {
+		if ent, ok := b.Entry(fi.name); ok {
+			if fi.sig.Ret != nil {
+				b.ApplyResult(a.sys, ent, fi.sig.Ret.Q)
 			}
+			continue
+		}
+		if b.A.Hooks.LibRef == nil {
+			continue
+		}
+		for _, p := range fi.sig.Params {
+			for _, pr := range collectPositions(p, 0, nil) {
+				b.A.Hooks.LibRef(a.sys, b, analysis.LibUse{
+					Fn: fi.name, Pos: fi.decl.Pos.String(),
+					DeclaredConst: pr.ref.DeclaredConst,
+				}, pr.ref.Q)
+			}
+		}
+	}
+}
+
+// preludeArg applies per-argument prelude annotations for a direct call
+// to a library function: the seeds and sinks of -prelude, positioned at
+// the offending argument rather than at the shared prototype.
+func (a *Analysis) preludeArg(fn string, i int, rv *RType, pos cfront.Pos) {
+	if rv == nil {
+		return
+	}
+	for _, b := range a.suite.Bindings() {
+		if ent, ok := b.Entry(fn); ok {
+			b.ApplyParam(a.sys, ent, i, rv.Q, pos.String())
 		}
 	}
 }
@@ -754,7 +798,12 @@ func (a *Analysis) repointPositions(scc []*funcInfo) {
 
 // registerPositions records the interesting const positions of a defined
 // function: every pointer level of every parameter and of the result.
+// Positions are a const-analysis concept; suites without const track
+// none.
 func (a *Analysis) registerPositions(fi *funcInfo) {
+	if !a.constActive {
+		return
+	}
 	for i, p := range fi.sig.Params {
 		name := ""
 		pos := fi.decl.Pos

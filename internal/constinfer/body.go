@@ -1,8 +1,7 @@
 package constinfer
 
 import (
-	"fmt"
-
+	"repro/internal/analysis"
 	"repro/internal/cfront"
 	"repro/internal/constraint"
 )
@@ -268,12 +267,14 @@ func (a *Analysis) exprL(env *env, e cfront.Expr) *lval {
 	}
 }
 
-// forbidWrite bounds an l-value's reference and guard qualifiers away
-// from const.
+// forbidWrite runs every analysis's write rule (the paper's Assign') on
+// an l-value: for const it bounds the reference and guard qualifiers
+// away from const.
 func (a *Analysis) forbidWrite(lv *lval, r constraint.Reason) {
-	a.sys.AddMasked(lv.ref.Q, constraint.C(a.notConst), a.constMask, r)
-	for _, g := range lv.guards {
-		a.sys.AddMasked(g, constraint.C(a.notConst), a.constMask, r)
+	for _, b := range a.suite.Bindings() {
+		if h := b.A.Hooks.Write; h != nil {
+			h(a.sys, b, lv.ref.Q, lv.guards, r)
+		}
 	}
 }
 
@@ -390,13 +391,17 @@ func (a *Analysis) exprR(env *env, e cfront.Expr) *RType {
 
 	case *cfront.Call:
 		var fn *RType
+		var callee *funcInfo
 		if id, ok := e.Fn.(*cfront.Ident); ok {
 			if _, isLocal := env.lookup(id.Name); !isLocal {
 				if fi, ok := a.funcs[id.Name]; ok {
 					fn = a.useFunc(fi)
+					callee = fi
 				} else if _, isGlobal := a.globals[id.Name]; !isGlobal {
-					// Implicit declaration: int f(...). Conservatively
-					// treat pointer arguments as written through.
+					// Implicit declaration: int f(...). Per analysis,
+					// either a prelude entry annotates the arguments or
+					// the conservative rule applies (for const: pointer
+					// arguments are treated as written through).
 					if a.spec != nil {
 						panic(specMiss{"implicitly declared function " + id.Name})
 					}
@@ -413,11 +418,21 @@ func (a *Analysis) exprR(env *env, e cfront.Expr) *RType {
 					a.funcs[id.Name] = fi
 					a.makeLibSignature(fi)
 					fn = fi.sig
-					for _, arg := range e.Args {
+					for i, arg := range e.Args {
 						rv := a.exprR(env, arg)
-						if rv != nil && rv.Kind == RRef {
-							a.sys.AddMasked(rv.Q, constraint.C(a.notConst), a.constMask,
-								why(arg.ExprPos(), fmt.Sprintf("argument to undeclared function %q", id.Name)))
+						if rv == nil {
+							continue
+						}
+						for _, b := range a.suite.Bindings() {
+							if ent, ok := b.Entry(id.Name); ok {
+								b.ApplyParam(a.sys, ent, i, rv.Q, arg.ExprPos().String())
+								continue
+							}
+							if b.A.Hooks.LibRef != nil && rv.Kind == RRef {
+								b.A.Hooks.LibRef(a.sys, b, analysis.LibUse{
+									Fn: id.Name, Pos: arg.ExprPos().String(), Implicit: true,
+								}, rv.Q)
+							}
 						}
 					}
 					return fn.Ret
@@ -441,6 +456,11 @@ func (a *Analysis) exprR(env *env, e cfront.Expr) *RType {
 			}
 			// Extra (variadic or excess) arguments are ignored, as the
 			// paper does for wrong-arity calls.
+			if callee != nil && !callee.defined {
+				// Library call with a prototype: prelude seeds/sinks
+				// apply at the argument position.
+				a.preludeArg(callee.name, i, rv, arg.ExprPos())
+			}
 		}
 		return fn.Ret
 

@@ -137,25 +137,24 @@ func (a *Analysis) constrainBody(fi *funcInfo) (res bodyResult) {
 	wtr := &translator{
 		sys:         wsys,
 		set:         a.tr.set,
-		constElem:   a.tr.constElem,
-		notConst:    a.tr.notConst,
+		suite:       a.tr.suite,
 		structVals:  a.tr.structVals,
 		pinned:      make(map[constraint.Var]bool),
 		basePinned:  a.tr.pinned,
 		speculative: true,
 	}
 	w := &Analysis{
-		opts:      a.opts,
-		set:       a.set,
-		sys:       wsys,
-		tr:        wtr,
-		files:     a.files,
-		globals:   a.globals,
-		funcs:     a.funcs,
-		enums:     a.enums,
-		notConst:  a.notConst,
-		constMask: a.constMask,
-		spec:      &speculation{scc: fi.scc},
+		opts:        a.opts,
+		set:         a.set,
+		sys:         wsys,
+		tr:          wtr,
+		files:       a.files,
+		globals:     a.globals,
+		funcs:       a.funcs,
+		enums:       a.enums,
+		suite:       a.suite,
+		constActive: a.constActive,
+		spec:        &speculation{scc: fi.scc},
 	}
 	defer func() {
 		if p := recover(); p != nil {

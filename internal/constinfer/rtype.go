@@ -15,6 +15,7 @@ package constinfer
 import (
 	"fmt"
 
+	"repro/internal/analysis"
 	"repro/internal/cfront"
 	"repro/internal/constraint"
 	"repro/internal/qual"
@@ -95,8 +96,7 @@ func (t *RType) String() string {
 type translator struct {
 	sys        *constraint.System
 	set        *qual.Set
-	constElem  qual.Elem
-	notConst   qual.Elem
+	suite      *analysis.Suite
 	structVals map[*cfront.StructType]*RType
 	// pinned qualifier variables must never be quantified: struct fields
 	// and globals are monomorphic (paper Section 4.2/4.3).
@@ -117,13 +117,11 @@ func (tr *translator) isPinned(v constraint.Var) bool {
 	return tr.pinned[v] || tr.basePinned[v]
 }
 
-func newTranslator(sys *constraint.System) *translator {
-	set := sys.Set()
+func newTranslator(sys *constraint.System, suite *analysis.Suite) *translator {
 	return &translator{
 		sys:        sys,
-		set:        set,
-		constElem:  set.MustOnly("const"),
-		notConst:   set.MustNot("const"),
+		set:        sys.Set(),
+		suite:      suite,
 		structVals: make(map[*cfront.StructType]*RType),
 		pinned:     make(map[constraint.Var]bool),
 	}
@@ -137,15 +135,19 @@ func (tr *translator) freshQ() constraint.Term {
 	return constraint.V(v)
 }
 
-// newRef builds a reference with a fresh qualifier, seeded const when the
-// source declared it.
+// newRef builds a reference with a fresh qualifier and lets every
+// analysis seed it from the source-declared C qualifiers (const seeds
+// its component when the source spelled const here).
 func (tr *translator) newRef(elem *RType, quals cfront.Quals) *RType {
 	r := &RType{Kind: RRef, Q: tr.freshQ(), Elem: elem}
 	if quals.Const {
 		r.DeclaredConst = true
 		r.ConstPos = quals.ConstPos
-		tr.sys.AddMasked(constraint.C(tr.constElem), r.Q, tr.set.MustMask("const"),
-			constraint.Reason{Pos: quals.ConstPos.String(), Msg: "declared const"})
+	}
+	for _, b := range tr.suite.Bindings() {
+		if h := b.A.Hooks.DeclQual; h != nil {
+			h(tr.sys, b, r.Q, quals)
+		}
 	}
 	return r
 }

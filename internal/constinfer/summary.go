@@ -110,6 +110,10 @@ func (a *Analysis) SetSummaryCache(c SummaryCache) { a.summaries = c }
 func (a *Analysis) prepareFingerprint() []byte {
 	h := sha256.New()
 	fmt.Fprintf(h, "opts:%t,%t,%t,%d;", a.opts.Poly, a.opts.PolyRec, a.opts.Simplify, a.opts.MaxPolyRecIters)
+	// The suite fingerprint pins the analysis set and every prelude's
+	// content: cached fragments embed prelude-derived constraints, so a
+	// summary must never be replayed under a different suite.
+	fmt.Fprintf(h, "suite:%s;", a.suite.Fingerprint())
 	for _, f := range a.files {
 		if f == nil {
 			fmt.Fprint(h, "file:nil;")

@@ -79,6 +79,15 @@ func (t Term) Format(set *qual.Set) string {
 	return set.Describe(t.c)
 }
 
+// FormatMask renders the term with constants restricted to the lattice
+// components in mask, as a masked constraint sees them.
+func (t Term) FormatMask(set *qual.Set, mask qual.Elem) string {
+	if t.isVar {
+		return fmt.Sprintf("κ%d", int(t.v))
+	}
+	return set.DescribeMask(t.c, mask)
+}
+
 // Reason records where and why a constraint was generated, for diagnostics.
 type Reason struct {
 	// Pos is a source position, typically "file:line:col"; may be empty.
@@ -140,14 +149,18 @@ func (u *Unsat) Error() string {
 }
 
 // Explain renders the conflict with qualifier names resolved against set.
+// Rendering is restricted to the violated constraint's mask, so in a
+// product lattice shared by several analyses the message mentions only
+// the conflicting analysis's components.
 func (u *Unsat) Explain(set *qual.Set) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "qualifier %s does not fit under bound %s", set.Describe(u.Lower), set.Describe(u.Bound))
+	fmt.Fprintf(&b, "qualifier %s does not fit under bound %s",
+		set.DescribeMask(u.Lower, u.Con.Mask), set.DescribeMask(u.Bound, u.Con.Mask))
 	if u.Con.Why.Pos != "" || u.Con.Why.Msg != "" {
 		fmt.Fprintf(&b, " at %v", u.Con.Why)
 	}
 	for _, c := range u.Path {
-		fmt.Fprintf(&b, "\n\tflow: %s ⊑ %s (%v)", c.L.Format(set), c.R.Format(set), c.Why)
+		fmt.Fprintf(&b, "\n\tflow: %s ⊑ %s (%v)", c.L.FormatMask(set, c.Mask), c.R.FormatMask(set, c.Mask), c.Why)
 	}
 	return b.String()
 }
@@ -336,7 +349,16 @@ func (s *System) Solve() []*Unsat {
 	// constraint with a constant right side (conflicts always manifest at
 	// such a sink; checking the propagated variable bounds as well would
 	// re-report the same conflict once per constraint along the path).
+	//
+	// One root cause can still surface at several sinks carrying the same
+	// provenance: polymorphic instantiation replays a scheme's seed and
+	// sink constraints once per call site, and a declaration-level seed
+	// reaches every copy. Conflicts whose origin reason, sink reason and
+	// offending bits all coincide are reported once, keeping the first in
+	// constraint order (which is deterministic across worker counts).
 	var unsat []*Unsat
+	var incoming [][]int
+	reported := make(map[string]bool)
 	for _, c := range s.cons {
 		if c.R.isVar {
 			continue
@@ -344,15 +366,41 @@ func (s *System) Solve() []*Unsat {
 		lv := s.valueLower(c.L)
 		bound := c.R.c
 		if !qual.LeqMask(lv, bound, c.Mask) {
+			bad := (lv &^ bound) & c.Mask
 			u := &Unsat{Con: c, Lower: lv & c.Mask, Bound: bound | ^c.Mask}
 			if c.L.isVar {
-				bad := (lv &^ bound) & c.Mask
-				u.Path = s.blame(c.L.v, bad)
+				if incoming == nil {
+					incoming = s.incomingIndex()
+				}
+				u.Path = s.blame(c.L.v, bad, incoming)
 			}
+			origin := ""
+			if len(u.Path) > 0 {
+				origin = u.Path[0].Why.String()
+			}
+			key := fmt.Sprintf("%s\x00%s\x00%x", origin, c.Why.String(), uint64(bad))
+			if reported[key] {
+				continue
+			}
+			reported[key] = true
 			unsat = append(unsat, u)
 		}
 	}
 	return unsat
+}
+
+// incomingIndex builds, per variable, the indices of the constraints
+// whose right side is that variable, in insertion order. It is built
+// lazily on the first conflict; blame then runs breadth-first over it
+// instead of rescanning the whole constraint list per step.
+func (s *System) incomingIndex() [][]int {
+	incoming := make([][]int, s.n)
+	for i, c := range s.cons {
+		if c.R.isVar {
+			incoming[c.R.v] = append(incoming[c.R.v], i)
+		}
+	}
+	return incoming
 }
 
 func (s *System) valueLower(t Term) qual.Elem {
@@ -364,33 +412,36 @@ func (s *System) valueLower(t Term) qual.Elem {
 
 // blame searches backwards from v for the constant-to-variable constraint
 // that introduced the offending qualifier bits, returning the flow path in
-// source-to-sink order. It runs only on failure, so a linear scan per step
-// is acceptable.
-func (s *System) blame(v Var, bad qual.Elem) []Constraint {
+// source-to-sink order. The search is a layered breadth-first traversal,
+// so the returned path has the fewest hops of any constraint chain that
+// carries the bits to v; ties break towards the earliest constraints in
+// insertion order (the frontier grows in discovery order and incoming
+// lists are scanned in insertion order). Insertion order is itself
+// deterministic for any worker count — parallel generation renumbers
+// worker fragments into fixed merge slots — so the extracted trace is
+// byte-identical across -jobs values.
+func (s *System) blame(v Var, bad qual.Elem, incoming [][]int) []Constraint {
 	type node struct {
 		v    Var
 		bits qual.Elem
 	}
-	prev := make(map[Var]Constraint)
+	prev := make(map[Var]int) // var -> incoming constraint that discovered it
 	seen := map[Var]bool{v: true}
 	frontier := []node{{v, bad}}
-	var origin *Constraint
+	origin := -1
 	var originVar Var
-	for len(frontier) > 0 && origin == nil {
+	for len(frontier) > 0 && origin < 0 {
 		next := frontier[:0:0]
 		for _, nd := range frontier {
-			for i := range s.cons {
-				c := s.cons[i]
-				if !c.R.isVar || c.R.v != nd.v {
-					continue
-				}
+			for _, ci := range incoming[nd.v] {
+				c := s.cons[ci]
 				bits := nd.bits & c.Mask
 				if bits == 0 {
 					continue
 				}
 				if !c.L.isVar {
 					if c.L.c&bits != 0 {
-						origin = &c
+						origin = ci
 						originVar = nd.v
 						break
 					}
@@ -401,29 +452,29 @@ func (s *System) blame(v Var, bad qual.Elem) []Constraint {
 					continue
 				}
 				seen[src] = true
-				prev[src] = c
+				prev[src] = ci
 				next = append(next, node{src, bits})
 			}
-			if origin != nil {
+			if origin >= 0 {
 				break
 			}
 		}
 		frontier = next
 	}
-	if origin == nil {
+	if origin < 0 {
 		return nil
 	}
 	// prev[src] is the edge src ⊑ parent along which the backward search
 	// discovered src; following prev from the origin variable walks the
 	// flow forward until it reaches v.
-	path := []Constraint{*origin}
+	path := []Constraint{s.cons[origin]}
 	for at := originVar; at != v; {
-		c, ok := prev[at]
+		ci, ok := prev[at]
 		if !ok {
 			break
 		}
-		path = append(path, c)
-		at = c.R.v
+		path = append(path, s.cons[ci])
+		at = s.cons[ci].R.v
 	}
 	return path
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/analysis"
 	"repro/internal/constraint"
 	"repro/internal/initcheck"
 	"repro/internal/qual"
@@ -94,6 +95,10 @@ type Diagnostic struct {
 	Stage Stage
 	// Code is a stable machine-readable kind, e.g. "qualifier-conflict".
 	Code string
+	// Analysis names the qualifier analysis the diagnostic belongs to
+	// ("const", "taint"); empty for diagnostics that are not specific to
+	// one analysis (load/parse errors, initialization warnings).
+	Analysis string
 	// Message is the human-readable one-line description.
 	Message string
 	// Flow, for qualifier conflicts, traces the constraint path from the
@@ -143,23 +148,43 @@ func parseDiagnostic(pos string, err error) Diagnostic {
 
 // conflictDiagnostic converts an unsatisfiable qualifier constraint,
 // resolving lattice elements against the qualifier set and keeping the
-// blame path as flow steps.
-func conflictDiagnostic(set *qual.Set, u *constraint.Unsat) Diagnostic {
+// blame path as flow steps. Rendering is restricted to the violated
+// constraint's component mask so a conflict in one analysis does not
+// drag the other analyses' qualifiers into the message; the owning
+// analysis is named from the offending components. A nil suite (lambda
+// pipeline, whose qualifier sets are free-form) leaves Analysis empty.
+func conflictDiagnostic(set *qual.Set, suite *analysis.Suite, u *constraint.Unsat) Diagnostic {
+	owner := ""
+	if suite != nil {
+		owner = suite.Owner(u.Lower &^ u.Bound)
+	}
 	d := Diagnostic{
 		Pos:      u.Con.Why.Pos,
 		Severity: SevError,
 		Stage:    StageSolve,
 		Code:     "qualifier-conflict",
+		Analysis: owner,
 		Message: fmt.Sprintf("qualifier %s does not fit under bound %s (%s)",
-			set.Describe(u.Lower), set.Describe(u.Bound), u.Con.Why.Msg),
+			set.DescribeMask(u.Lower, u.Con.Mask), set.DescribeMask(u.Bound, u.Con.Mask), u.Con.Why.Msg),
 	}
 	for _, c := range u.Path {
 		d.Flow = append(d.Flow, FlowStep{
 			Pos:  c.Why.Pos,
-			Note: fmt.Sprintf("%s ⊑ %s (%s)", c.L.Format(set), c.R.Format(set), c.Why.Msg),
+			Note: fmt.Sprintf("%s ⊑ %s (%s)", c.L.FormatMask(set, c.Mask), c.R.FormatMask(set, c.Mask), c.Why.Msg),
 		})
 	}
 	return d
+}
+
+// preludeDiagnostic wraps a prelude parse or suite-binding failure.
+func preludeDiagnostic(pos string, err error) Diagnostic {
+	return Diagnostic{
+		Pos:      pos,
+		Severity: SevError,
+		Stage:    StageBuild,
+		Code:     "prelude-error",
+		Message:  err.Error(),
+	}
 }
 
 // initDiagnostic converts a definite-initialization warning.

@@ -15,17 +15,20 @@ package driver
 import (
 	"context"
 	"errors"
+	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"sync"
 	"time"
 
+	"repro/internal/analysis"
 	"repro/internal/cfront"
 	"repro/internal/constinfer"
 	"repro/internal/initcheck"
 )
 
-// Config selects the analysis mode for the C const-inference pipeline.
+// Config selects the analysis mode for the C qualifier pipeline.
 type Config struct {
 	// Options is the inference mode (mono/poly/polyrec/simplify).
 	Options constinfer.Options
@@ -35,6 +38,15 @@ type Config struct {
 	// Uninit additionally runs the flow-sensitive
 	// definite-initialization check and reports its warnings.
 	Uninit bool
+	// Analyses names the registered qualifier analyses to run together
+	// in one constraint pass over the shared product lattice (see
+	// internal/analysis). Nil or empty selects the classic const
+	// inference; unknown names fail the run with an error.
+	Analyses []string
+	// Preludes are annotation files declaring library-function seeds
+	// and sinks for the selected analyses (`analysis taint` / `getenv(_)
+	// -> tainted`). Parse failures surface as prelude-error diagnostics.
+	Preludes []PreludeFile
 	// Summaries, when non-nil, memoizes per-function constraint
 	// summaries across runs (see constinfer.SummaryCache and
 	// internal/cache): unchanged functions replay their cached
@@ -42,6 +54,22 @@ type Config struct {
 	// output. It is excluded from request cache keys — it changes
 	// cost, never results.
 	Summaries constinfer.SummaryCache
+}
+
+// PreludeFile is one qualifier prelude: the path (used for positions and
+// cache keys) and its text.
+type PreludeFile struct {
+	Path string
+	Text string
+}
+
+// AnalysisNames returns the analyses the config selects, defaulting to
+// the classic const inference.
+func (c Config) AnalysisNames() []string {
+	if len(c.Analyses) == 0 {
+		return []string{"const"}
+	}
+	return c.Analyses
 }
 
 // Source is one input translation unit. When Text is empty the Load
@@ -227,13 +255,26 @@ func RunFiles(cfg Config, files []*cfront.File) (*Result, error) {
 // the optional initialization check over res.Files, checking ctx at each
 // stage boundary.
 func runAnalysis(ctx context.Context, cfg Config, res *Result) error {
-	a := constinfer.NewAnalysis(res.Files, cfg.Options)
+	start := time.Now()
+	suite, diags, err := buildSuite(cfg)
+	res.Diagnostics = append(res.Diagnostics, diags...)
+	if err != nil {
+		return err
+	}
+	if suite == nil {
+		// Prelude failures are front-end-style errors: reported as
+		// diagnostics, no analysis runs, Report stays nil.
+		res.Timings.Build = time.Since(start)
+		return nil
+	}
+	opts := cfg.Options
+	opts.Suite = suite
+	a := constinfer.NewAnalysis(res.Files, opts)
 	if cfg.Summaries != nil {
 		a.SetSummaryCache(cfg.Summaries)
 	}
 	res.Analysis = a
 
-	start := time.Now()
 	a.Prepare()
 	res.Timings.Build = time.Since(start)
 	if err := ctx.Err(); err != nil {
@@ -259,7 +300,7 @@ func runAnalysis(ctx context.Context, cfg Config, res *Result) error {
 	res.Timings.Classify = time.Since(start)
 
 	for _, u := range conflicts {
-		res.Diagnostics = append(res.Diagnostics, conflictDiagnostic(a.Set(), u))
+		res.Diagnostics = append(res.Diagnostics, conflictDiagnostic(a.Set(), suite, u))
 	}
 	if cfg.Uninit {
 		for _, f := range res.Files {
@@ -269,4 +310,49 @@ func runAnalysis(ctx context.Context, cfg Config, res *Result) error {
 		}
 	}
 	return nil
+}
+
+// buildSuite resolves the config's analysis names and preludes into a
+// bound suite. Unknown analysis names are invalid invocations (error);
+// prelude problems are input problems reported as diagnostics with a nil
+// suite. A prelude-wanting analysis running without one gets an advisory
+// warning alongside a non-nil suite.
+func buildSuite(cfg Config) (*analysis.Suite, []Diagnostic, error) {
+	names := cfg.AnalysisNames()
+	for _, n := range names {
+		if _, ok := analysis.Lookup(n); !ok {
+			return nil, nil, fmt.Errorf("driver: unknown analysis %q (registered: %s)",
+				n, strings.Join(analysis.Names(), ", "))
+		}
+	}
+	var diags []Diagnostic
+	var preludes []*analysis.Prelude
+	for _, p := range cfg.Preludes {
+		pr, err := analysis.ParsePrelude(p.Path, p.Text)
+		if err != nil {
+			diags = append(diags, preludeDiagnostic(p.Path, err))
+			continue
+		}
+		preludes = append(preludes, pr)
+	}
+	if len(diags) > 0 {
+		return nil, diags, nil
+	}
+	suite, err := analysis.NewSuite(names, preludes)
+	if err != nil {
+		return nil, []Diagnostic{preludeDiagnostic("", err)}, nil
+	}
+	for _, b := range suite.Bindings() {
+		if b.A.WantsPrelude && !b.HasPrelude() {
+			diags = append(diags, Diagnostic{
+				Severity: SevWarning,
+				Stage:    StageBuild,
+				Code:     "no-prelude",
+				Analysis: b.A.Name,
+				Message: fmt.Sprintf("analysis %q has no prelude: no seeds or sinks are defined (use -prelude)",
+					b.A.Name),
+			})
+		}
+	}
+	return suite, diags, nil
 }

@@ -11,6 +11,7 @@ import (
 type jsonOutput struct {
 	Files       []string         `json:"files"`
 	Mode        string           `json:"mode"`
+	Analyses    []string         `json:"analyses"`
 	Summary     *jsonSummary     `json:"summary,omitempty"`
 	Positions   []jsonPosition   `json:"positions,omitempty"`
 	Suggestions []jsonSuggestion `json:"suggestions,omitempty"`
@@ -53,6 +54,7 @@ type jsonDiagnostic struct {
 	Severity string     `json:"severity"`
 	Stage    string     `json:"stage"`
 	Code     string     `json:"code"`
+	Analysis string     `json:"analysis,omitempty"`
 	Message  string     `json:"message"`
 	Flow     []jsonFlow `json:"flow,omitempty"`
 }
@@ -93,6 +95,7 @@ func (c Config) Mode() string {
 func (r *Result) JSON() ([]byte, error) {
 	out := jsonOutput{
 		Mode:        r.Config.Mode(),
+		Analyses:    r.Config.AnalysisNames(),
 		Diagnostics: []jsonDiagnostic{},
 	}
 	for _, f := range r.Files {
@@ -130,6 +133,7 @@ func (r *Result) JSON() ([]byte, error) {
 			Severity: d.Severity.String(),
 			Stage:    d.Stage.String(),
 			Code:     d.Code,
+			Analysis: d.Analysis,
 			Message:  d.Message,
 		}
 		for _, f := range d.Flow {

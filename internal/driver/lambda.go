@@ -97,7 +97,7 @@ func RunLambda(cfg LambdaConfig, file, src string) *LambdaResult {
 	res.Timings.Solve = time.Since(start)
 	res.Type = qt
 	for _, u := range conflicts {
-		res.Diagnostics = append(res.Diagnostics, conflictDiagnostic(cfg.Spec.Set, u))
+		res.Diagnostics = append(res.Diagnostics, conflictDiagnostic(cfg.Spec.Set, nil, u))
 	}
 
 	if cfg.Eval && !res.HasErrors() {

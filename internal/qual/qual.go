@@ -51,6 +51,10 @@ type Qualifier struct {
 	Name string
 	// Sign determines the orientation of the two-point lattice.
 	Sign Sign
+	// NegName optionally names the absent state for diagnostics: the
+	// negative qualifier "untainted" reads better rendered as "tainted"
+	// when absent than as "¬untainted". Empty means render "¬Name".
+	NegName string
 }
 
 // MaxQualifiers is the maximum number of qualifiers in one Set; elements
@@ -320,18 +324,37 @@ func (s *Set) String(e Elem) string {
 // Describe renders e unambiguously, writing absent qualifiers of either
 // sign explicitly when verbose diagnostics are needed.
 func (s *Set) Describe(e Elem) string {
-	if len(s.quals) == 0 {
-		return "{}"
-	}
+	return s.DescribeMask(e, s.Top())
+}
+
+// DescribeMask renders only the components of e selected by mask. It is
+// the Describe for diagnostics about masked constraints: in a product
+// lattice shared by several analyses, a conflict on one component should
+// not drag the other analyses' qualifiers into the message.
+func (s *Set) DescribeMask(e, mask Elem) string {
 	var parts []string
-	for _, q := range s.quals {
+	for i, q := range s.quals {
+		if mask&(1<<uint(i)) == 0 {
+			continue
+		}
 		if s.Has(e, q.Name) {
 			parts = append(parts, q.Name)
 		} else {
-			parts = append(parts, "¬"+q.Name)
+			parts = append(parts, q.negLabel())
 		}
 	}
+	if len(parts) == 0 {
+		return "{}"
+	}
 	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// negLabel is how the qualifier's absent state is spelled in diagnostics.
+func (q Qualifier) negLabel() string {
+	if q.NegName != "" {
+		return q.NegName
+	}
+	return "¬" + q.Name
 }
 
 // Parse interprets a space-separated list of qualifier names as the

@@ -13,7 +13,8 @@
 //	                    inputs, X-Cache reports hit or miss
 //	GET  /healthz     — liveness probe
 //	GET  /metrics     — JSON counters: requests, cache stats, per-stage
-//	                    timing aggregates
+//	                    timing aggregates, per-analysis request and
+//	                    diagnostic counts
 //
 // A concurrency limiter bounds simultaneous analyses so N clients share
 // the constraint-generation worker pool instead of oversubscribing it;
@@ -30,10 +31,12 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/analysis"
 	"repro/internal/cache"
 	"repro/internal/constinfer"
 	"repro/internal/driver"
@@ -83,6 +86,15 @@ type Server struct {
 	tmu        sync.Mutex
 	stageTotal driver.Timings // summed wall-clock per stage over analyses
 	stageRuns  uint64
+
+	amu         sync.Mutex
+	perAnalysis map[string]*analysisCounters
+}
+
+// analysisCounters tracks load per registered qualifier analysis.
+type analysisCounters struct {
+	requests    uint64 // analyze requests selecting the analysis
+	diagnostics uint64 // diagnostics the analysis produced (cache misses only)
 }
 
 // New builds a server with the given configuration.
@@ -106,12 +118,13 @@ func New(cfg Config) *Server {
 		cfg.SummaryBytes = 256 << 20
 	}
 	s := &Server{
-		cfg:       cfg,
-		results:   cache.NewResultCache(cfg.ResultEntries, cfg.ResultBytes),
-		summaries: cache.NewSummaryStore(cfg.SummaryEntries, cfg.SummaryBytes),
-		sem:       make(chan struct{}, cfg.MaxConcurrent),
-		mux:       http.NewServeMux(),
-		start:     time.Now(),
+		cfg:         cfg,
+		results:     cache.NewResultCache(cfg.ResultEntries, cfg.ResultBytes),
+		summaries:   cache.NewSummaryStore(cfg.SummaryEntries, cfg.SummaryBytes),
+		sem:         make(chan struct{}, cfg.MaxConcurrent),
+		mux:         http.NewServeMux(),
+		start:       time.Now(),
+		perAnalysis: make(map[string]*analysisCounters),
 	}
 	s.mux.HandleFunc("/v1/analyze", s.handleAnalyze)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
@@ -134,10 +147,22 @@ type AnalyzeRequest struct {
 	// Jobs bounds the constraint-generation pool for this request
 	// (0 = server default). Results are identical for every value.
 	Jobs int `json:"jobs,omitempty"`
+	// Analyses names the registered qualifier analyses to run together
+	// (empty = const). Unknown names are rejected with 400.
+	Analyses []string `json:"analyses,omitempty"`
+	// Preludes carry qualifier prelude texts declaring library seeds
+	// and sinks for the selected analyses.
+	Preludes []PreludeJSON `json:"preludes,omitempty"`
 }
 
 // SourceJSON is one in-memory translation unit.
 type SourceJSON struct {
+	Path string `json:"path"`
+	Text string `json:"text"`
+}
+
+// PreludeJSON is one in-memory qualifier prelude file.
+type PreludeJSON struct {
 	Path string `json:"path"`
 	Text string `json:"text"`
 }
@@ -194,6 +219,19 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		}
 		sources[i] = driver.Source{Path: src.Path, Text: src.Text}
 	}
+	// Unknown analysis names are a client error, answered before any
+	// cache lookup or pipeline work.
+	for _, name := range req.Analyses {
+		if _, ok := analysis.Lookup(name); !ok {
+			s.fail(w, http.StatusBadRequest, "unknown analysis %q (registered: %s)",
+				name, strings.Join(analysis.Names(), ", "))
+			return
+		}
+	}
+	preludes := make([]driver.PreludeFile, len(req.Preludes))
+	for i, p := range req.Preludes {
+		preludes[i] = driver.PreludeFile{Path: p.Path, Text: p.Text}
+	}
 	cfg := driver.Config{
 		Options: constinfer.Options{
 			Poly:     req.Poly || req.PolyRec,
@@ -202,8 +240,11 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		},
 		Jobs:      jobs,
 		Uninit:    req.Uninit,
+		Analyses:  req.Analyses,
+		Preludes:  preludes,
 		Summaries: s.summaries,
 	}
+	s.countRequests(cfg.AnalysisNames())
 
 	key := cache.RequestKey(cfg, sources)
 	if report, ok := s.results.Get(key); ok {
@@ -244,6 +285,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.analyses.Add(1)
+	s.countDiagnostics(res.Diagnostics)
 	s.recordTimings(res.Timings)
 	s.results.Put(key, report)
 	s.writeReport(w, report, "miss")
@@ -273,6 +315,39 @@ func (s *Server) recordTimings(t driver.Timings) {
 	s.stageRuns++
 }
 
+// counters returns the counter cell for an analysis, creating it on
+// first use. Callers must hold amu.
+func (s *Server) counters(name string) *analysisCounters {
+	c := s.perAnalysis[name]
+	if c == nil {
+		c = &analysisCounters{}
+		s.perAnalysis[name] = c
+	}
+	return c
+}
+
+// countRequests credits one analyze request to each selected analysis.
+func (s *Server) countRequests(names []string) {
+	s.amu.Lock()
+	defer s.amu.Unlock()
+	for _, name := range names {
+		s.counters(name).requests++
+	}
+}
+
+// countDiagnostics credits each analysis-owned diagnostic of a finished
+// run. Cache hits re-serve stored bytes without re-counting: the
+// counters measure analysis work, not traffic.
+func (s *Server) countDiagnostics(diags []driver.Diagnostic) {
+	s.amu.Lock()
+	defer s.amu.Unlock()
+	for _, d := range diags {
+		if d.Analysis != "" {
+			s.counters(d.Analysis).diagnostics++
+		}
+	}
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintln(w, "ok")
@@ -289,6 +364,19 @@ type Metrics struct {
 	ResultCache  cache.Stats `json:"result_cache"`
 	SummaryCache cache.Stats `json:"summary_cache"`
 	Stages       StageTotals `json:"stages"`
+	// PerAnalysis breaks request and diagnostic counts down by qualifier
+	// analysis ("const", "taint", ...).
+	PerAnalysis map[string]AnalysisMetrics `json:"per_analysis"`
+}
+
+// AnalysisMetrics is the per-analysis slice of the metrics.
+type AnalysisMetrics struct {
+	// Requests counts analyze requests that selected the analysis,
+	// including cache hits and failed runs.
+	Requests uint64 `json:"requests"`
+	// Diagnostics counts diagnostics the analysis produced across
+	// completed runs (cache misses only).
+	Diagnostics uint64 `json:"diagnostics"`
 }
 
 // StageTotals sums per-stage wall-clock time over every analysis run
@@ -309,6 +397,12 @@ func (s *Server) Snapshot() Metrics {
 	s.tmu.Lock()
 	t, runs := s.stageTotal, s.stageRuns
 	s.tmu.Unlock()
+	s.amu.Lock()
+	per := make(map[string]AnalysisMetrics, len(s.perAnalysis))
+	for name, c := range s.perAnalysis {
+		per[name] = AnalysisMetrics{Requests: c.requests, Diagnostics: c.diagnostics}
+	}
+	s.amu.Unlock()
 	ms := func(d time.Duration) float64 { return d.Seconds() * 1000 }
 	return Metrics{
 		UptimeMS:     ms(time.Since(s.start)),
@@ -319,6 +413,7 @@ func (s *Server) Snapshot() Metrics {
 		InFlight:     s.inFlight.Load(),
 		ResultCache:  s.results.Stats(),
 		SummaryCache: s.summaries.Stats(),
+		PerAnalysis:  per,
 		Stages: StageTotals{
 			Runs:        runs,
 			LoadMS:      ms(t.Load),

@@ -1,0 +1,147 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+const taintProg = `
+extern char *getenv(const char *name);
+extern int printf(const char *fmt, ...);
+
+int greet(void) {
+    char *user = getenv("USER");
+    return printf(user);
+}
+`
+
+const taintPreludeText = `analysis taint
+getenv(_) -> tainted
+printf(untainted, ...)
+`
+
+func taintBody(t *testing.T, analyses []string, prelude string) string {
+	t.Helper()
+	req := AnalyzeRequest{
+		Sources:  []SourceJSON{{Path: "t.c", Text: taintProg}},
+		Analyses: analyses,
+	}
+	if prelude != "" {
+		req.Preludes = []PreludeJSON{{Path: "taint.q", Text: prelude}}
+	}
+	b, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestAnalyzeTaintSmoke is the daemon taint acceptance check: a taint
+// request reports the planted flow with its trace, the warm repeat is a
+// byte-identical cache hit, and /metrics carries per-analysis counters.
+func TestAnalyzeTaintSmoke(t *testing.T) {
+	ts := httptest.NewServer(New(Config{}))
+	defer ts.Close()
+
+	body := taintBody(t, []string{"taint"}, taintPreludeText)
+	r1, d1 := postAnalyze(t, ts, body)
+	if r1.StatusCode != 200 || r1.Header.Get("X-Cache") != "miss" {
+		t.Fatalf("cold POST: status %d, X-Cache %q", r1.StatusCode, r1.Header.Get("X-Cache"))
+	}
+	var doc struct {
+		Analyses    []string `json:"analyses"`
+		Diagnostics []struct {
+			Code     string `json:"code"`
+			Analysis string `json:"analysis"`
+			Flow     []struct {
+				Note string `json:"note"`
+			} `json:"flow"`
+		} `json:"diagnostics"`
+	}
+	if err := json.Unmarshal(d1, &doc); err != nil {
+		t.Fatalf("invalid report: %v\n%s", err, d1)
+	}
+	if len(doc.Analyses) != 1 || doc.Analyses[0] != "taint" {
+		t.Errorf("analyses = %v", doc.Analyses)
+	}
+	conflicts := 0
+	for _, d := range doc.Diagnostics {
+		if d.Code != "qualifier-conflict" {
+			continue
+		}
+		conflicts++
+		if d.Analysis != "taint" || len(d.Flow) == 0 {
+			t.Errorf("conflict = %+v; want taint-owned with a flow trace", d)
+		}
+		if !strings.Contains(d.Flow[0].Note, `result of "getenv" is tainted`) {
+			t.Errorf("first hop = %q", d.Flow[0].Note)
+		}
+	}
+	if conflicts != 1 {
+		t.Fatalf("%d conflicts, want 1:\n%s", conflicts, d1)
+	}
+
+	// Warm cache: byte-identical.
+	r2, d2 := postAnalyze(t, ts, body)
+	if r2.Header.Get("X-Cache") != "hit" || !bytes.Equal(d1, d2) {
+		t.Fatalf("warm POST not a byte-identical hit (X-Cache %q)", r2.Header.Get("X-Cache"))
+	}
+
+	// A const request over the same sources must not alias the taint
+	// entry: different analysis set, different key.
+	r3, _ := postAnalyze(t, ts, taintBody(t, nil, ""))
+	if r3.Header.Get("X-Cache") != "miss" {
+		t.Fatal("const request aliased the taint cache entry")
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m Metrics
+	err = json.NewDecoder(resp.Body).Decode(&m)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	taintM := m.PerAnalysis["taint"]
+	constM := m.PerAnalysis["const"]
+	if taintM.Requests != 2 || taintM.Diagnostics != 1 {
+		t.Errorf("taint metrics = %+v; want 2 requests, 1 diagnostic (hits not recounted)", taintM)
+	}
+	if constM.Requests != 1 {
+		t.Errorf("const metrics = %+v; want 1 request", constM)
+	}
+}
+
+func TestAnalyzeUnknownAnalysis(t *testing.T) {
+	ts := httptest.NewServer(New(Config{}))
+	defer ts.Close()
+	resp, data := postAnalyze(t, ts, taintBody(t, []string{"bogus"}, ""))
+	if resp.StatusCode != 400 {
+		t.Fatalf("status %d, want 400: %s", resp.StatusCode, data)
+	}
+	var e errorJSON
+	if err := json.Unmarshal(data, &e); err != nil || !strings.Contains(e.Error, `unknown analysis "bogus"`) {
+		t.Errorf("error body = %s", data)
+	}
+}
+
+// TestAnalyzePreludeErrorStillReports: a malformed prelude is an input
+// problem — a 200 report carrying a prelude-error diagnostic, mirroring
+// how parse errors are served.
+func TestAnalyzePreludeErrorStillReports(t *testing.T) {
+	ts := httptest.NewServer(New(Config{}))
+	defer ts.Close()
+	resp, data := postAnalyze(t, ts, taintBody(t, []string{"taint"}, "no header here\n"))
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d, want 200: %s", resp.StatusCode, data)
+	}
+	if !strings.Contains(string(data), "prelude-error") {
+		t.Errorf("no prelude-error diagnostic:\n%s", data)
+	}
+}
