@@ -237,25 +237,128 @@ func BenchmarkAblationLambdaPoly(b *testing.B) {
 	}
 }
 
-// BenchmarkSolverScaling measures the atomic-subtyping solver on chains
-// with constant seeds, the core [HR97] operation.
+// solverBenchSet is the product lattice the solver benchmarks run over:
+// two components, so masked edges and condensation classes are exercised.
+func solverBenchSet() *qual.Set {
+	return qual.MustSet(
+		qual.Qualifier{Name: "const", Sign: qual.Positive},
+		qual.Qualifier{Name: "tainted", Sign: qual.Positive},
+	)
+}
+
+// solverBenchSetWide is an eight-analysis product lattice, the
+// multi-analysis registry shape: each analysis masks its constraints to
+// its own lattice component, so condensation classes carry real work.
+func solverBenchSetWide() *qual.Set {
+	quals := make([]qual.Qualifier, 8)
+	for i := range quals {
+		quals[i] = qual.Qualifier{Name: fmt.Sprintf("q%d", i), Sign: qual.Positive}
+	}
+	return qual.MustSet(quals...)
+}
+
+// BenchmarkSolverScaling measures the atomic-subtyping solver — the core
+// [HR97] operation — on generated graphs of varying ⊑-cycle density.
+// cycles=0.0 is the classic seeded-chain case; higher densities are what
+// the condensed engine collapses. The analyses=8 shape is the headline:
+// long recursion cycles local to one analysis of a wide product lattice,
+// where the per-edge fixpoint circulates every seed around every cycle
+// while the condensed engine solves each cycle as a single node.
 func BenchmarkSolverScaling(b *testing.B) {
-	set := qual.MustSet(qual.Qualifier{Name: "const", Sign: qual.Positive})
+	set := solverBenchSet()
 	for _, size := range []int{1000, 10000, 100000} {
-		b.Run(fmt.Sprintf("n=%d", size), func(b *testing.B) {
-			sys := constraint.NewSystem(set)
-			vars := make([]constraint.Var, size)
-			for i := range vars {
-				vars[i] = sys.Fresh()
-			}
-			sys.Add(constraint.C(set.MustElem("const")), constraint.V(vars[0]), constraint.Reason{})
-			for i := 1; i < size; i++ {
-				sys.Add(constraint.V(vars[i-1]), constraint.V(vars[i]), constraint.Reason{})
-			}
+		for _, frac := range []float64{0, 0.5, 0.9} {
+			b.Run(fmt.Sprintf("n=%d/cycles=%.1f", size, frac), func(b *testing.B) {
+				sys, _ := benchgen.CycleSystem(set, benchgen.CycleConfig{
+					Vars:       size,
+					CycleFrac:  frac,
+					CycleLen:   8,
+					CrossEdges: size / 4,
+					MaskedFrac: 0.2,
+					Seed:       int64(size),
+				})
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if errs := sys.Solve(); errs != nil {
+						b.Fatal("unsat")
+					}
+				}
+			})
+		}
+	}
+	// Shared flow graph (full-mask edges — every analysis rides the same
+	// value-flow edges), per-analysis seeds: one wave per component for a
+	// per-edge fixpoint, a single sweep for the condensed engine.
+	wide := solverBenchSetWide()
+	for _, size := range []int{10000, 100000} {
+		for _, frac := range []float64{0.5, 0.9} {
+			b.Run(fmt.Sprintf("analyses=8/n=%d/cycles=%.1f", size, frac), func(b *testing.B) {
+				sys, _ := benchgen.CycleSystem(wide, benchgen.CycleConfig{
+					Vars:       size,
+					CycleFrac:  frac,
+					CycleLen:   64,
+					CrossEdges: size / 4,
+					Seeds:      size / 4,
+					Bounds:     size / 4,
+					BitSeeds:   true,
+					Seed:       int64(size),
+				})
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if errs := sys.Solve(); errs != nil {
+						b.Fatal("unsat")
+					}
+				}
+			})
+		}
+	}
+	// Analysis-local flow (structure-level masks): cycles live inside one
+	// analysis's lattice component, the shape per-class condensation
+	// collapses without touching the other components.
+	for _, size := range []int{100000} {
+		b.Run(fmt.Sprintf("analyses=8/local/n=%d/cycles=0.9", size), func(b *testing.B) {
+			sys, _ := benchgen.CycleSystem(wide, benchgen.CycleConfig{
+				Vars:        size,
+				CycleFrac:   0.9,
+				CycleLen:    64,
+				CrossEdges:  size / 4,
+				Seeds:       size / 4,
+				Bounds:      size / 4,
+				MaskedFrac:  0.95,
+				StructMasks: true,
+				BitSeeds:    true,
+				Seed:        int64(size),
+			})
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if errs := sys.Solve(); errs != nil {
 					b.Fatal("unsat")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRestrictScaling measures the scheme-simplification projection
+// (constraint.Restrict) on cycle-heavy graphs: the let-generalization hot
+// path of polymorphic inference.
+func BenchmarkRestrictScaling(b *testing.B) {
+	set := solverBenchSet()
+	for _, size := range []int{2000, 20000} {
+		b.Run(fmt.Sprintf("n=%d", size), func(b *testing.B) {
+			sys, iface := benchgen.CycleSystem(set, benchgen.CycleConfig{
+				Vars:       size,
+				CycleFrac:  0.8,
+				CycleLen:   8,
+				CrossEdges: size / 4,
+				MaskedFrac: 0.2,
+				Seed:       int64(size),
+			})
+			cons := sys.Constraints()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if out := constraint.Restrict(set, cons, iface); len(out) == 0 {
+					b.Fatal("empty projection")
 				}
 			}
 		})

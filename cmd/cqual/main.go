@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	cqual [-analysis LIST] [-prelude FILES] [-poly] [-polyrec] [-simplify] [-v] [-json] [-serve URL] file.c ...
+//	cqual [-analysis LIST] [-prelude FILES] [-poly] [-polyrec] [-simplify] [-v] [-json] [-stats] [-serve URL] file.c ...
 //	cqual -analyses
 //
 // For every "interesting" position (each pointer level of the parameters
@@ -52,7 +52,7 @@ import (
 	"repro/internal/server"
 )
 
-const usage = "usage: cqual [-analysis LIST] [-prelude FILES] [-poly] [-polyrec] [-simplify] [-v] [-json] [-serve URL] file.c ..."
+const usage = "usage: cqual [-analysis LIST] [-prelude FILES] [-poly] [-polyrec] [-simplify] [-v] [-json] [-stats] [-serve URL] file.c ..."
 
 func main() {
 	poly := flag.Bool("poly", false, "polymorphic qualifier inference (Section 4.3)")
@@ -63,6 +63,7 @@ func main() {
 	schemes := flag.Bool("schemes", false, "print inferred polymorphic qualifier schemes (with -poly)")
 	uninit := flag.Bool("uninit", false, "also run the flow-sensitive definite-initialization check (Section 6 extension)")
 	jsonOut := flag.Bool("json", false, "emit the report and diagnostics as JSON")
+	stats := flag.Bool("stats", false, "print solver statistics (system size, cycle condensation) to stderr")
 	jobs := flag.Int("jobs", 0, "constraint-generation workers (0 = GOMAXPROCS; results are identical for every value)")
 	serve := flag.String("serve", "", "analyze via a running cquald daemon at this base URL instead of locally")
 	analysisFlag := flag.String("analysis", "const", "comma-separated qualifier analyses to run together (see -analyses)")
@@ -136,6 +137,10 @@ func main() {
 			fmt.Fprintln(os.Stderr, "cqual:", d.Message)
 		}
 		os.Exit(2)
+	}
+
+	if *stats {
+		printSolverStats(res)
 	}
 
 	if *jsonOut {
@@ -348,6 +353,18 @@ func emitJSON(res *driver.Result) {
 		os.Exit(2)
 	}
 	os.Stdout.Write(append(data, '\n'))
+}
+
+// printSolverStats reports, on stderr, the size of the final constraint
+// system and how much the solver's cycle condensation compressed it —
+// the same counters the JSON report carries in its "solver" block.
+func printSolverStats(res *driver.Result) {
+	st := res.Solver
+	fmt.Fprintf(os.Stderr, "solver: %d vars, %d constraints, %d mask class(es)\n",
+		st.Vars, st.Constraints, st.MaskClasses)
+	fmt.Fprintf(os.Stderr, "  condensation: %d components, %d cycles collapsed (%d vars merged), %d edges dropped\n",
+		st.Components, st.SCCsCollapsed, st.VarsCollapsed, st.EdgesDropped)
+	fmt.Fprintf(os.Stderr, "  solve time:   %v (analysis %v)\n", res.Timings.Solve, res.Timings.Analysis())
 }
 
 func printPositions(rep *constinfer.Report) {

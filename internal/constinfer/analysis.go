@@ -367,6 +367,12 @@ func (a *Analysis) SolveSystem() []*constraint.Unsat {
 	return a.sys.Solve()
 }
 
+// SolveStats reports the size and condensation counters of the final
+// system's last solve. Valid only after SolveSystem.
+func (a *Analysis) SolveStats() constraint.SolveStats {
+	return a.sys.Stats()
+}
+
 // generalizeSCC captures the component's constraint fragment into a type
 // scheme for each member function (Section 4.3 generalization).
 func (a *Analysis) generalizeSCC(scc *sccInfo) {

@@ -30,6 +30,16 @@ package constinfer
 // touching mutable shared state (no specMiss), and it is only replayed
 // when the prepare fingerprint — which pins the meaning of every
 // pre-body variable the fragment references — is unchanged.
+//
+// Scheme instantiations are recorded symbolically (callee by name, see
+// SummaryInst), not as constraint copies, so a replayed fragment
+// instantiates the callee's *current* scheme. Under -simplify that
+// scheme's constraint fragment has already been condensed by the
+// one-pass constraint.Restrict projection (cycles among internal
+// variables collapsed, reachability composed per lattice component), so
+// every replay instantiates the condensed form with no extra plumbing:
+// fewer constraints enter the merged system per call site, and the
+// merge is byte-identical to a cold run either way.
 
 import (
 	"crypto/sha256"

@@ -172,9 +172,39 @@ type System struct {
 	n    int
 	cons []Constraint
 
+	// Edge extraction is cached incrementally: cons is append-only, so
+	// the flattened edge arrays and the constant-constraint index only
+	// grow by the constraints added since the previous Solve. Edge
+	// indices are bucketed by their (few) distinct masks, so each mask
+	// class can gather exactly its own edges instead of rescanning the
+	// whole edge list per class.
+	// Constant bounds flatten the same way into compact parallel
+	// arrays (seeds pre-masked, no-op bounds dropped), so the per-class
+	// passes stream over them instead of re-reading the wide Constraint
+	// records once per class.
+	ec struct {
+		ncons      int
+		eFrom, eTo []int32
+		masks      []qual.Elem // distinct edge masks, first-seen order
+		byMask     [][]int32   // edge indices per distinct mask
+		loVar      []int32     // L ⊑ κ: the variable…
+		loElem     []qual.Elem // …and L∩mask
+		upVar      []int32     // κ ⊑ C: the variable…
+		upC        []qual.Elem // …the bound…
+		upMask     []qual.Elem // …and its mask…
+		upIdx      []int32     // …and its constraint index
+		cc         []int32     // constant ⊑ constant constraints
+	}
+
+	// Solver scratch persists across Solve calls (schemes and
+	// incremental servers re-solve systems many times); see
+	// solveScratch for the re-use invariants.
+	scratch *solveScratch
+
 	solved bool
 	lower  []qual.Elem
 	upper  []qual.Elem
+	stats  SolveStats
 }
 
 // NewSystem creates an empty constraint system over the qualifier set.
@@ -261,88 +291,289 @@ func (s *System) AddConstraints(cons []Constraint, rename map[Var]Var) {
 // unsatisfiable constraints (nil when the system is satisfiable). Solve
 // may be called repeatedly; constraints added after a call invalidate the
 // previous solution and are picked up by the next call.
+//
+// Internally Solve decomposes the system by mask class and condenses
+// ⊑-cycles per class (see graph.go): the lattice components are
+// partitioned into classes that every edge mask treats uniformly, so
+// each class solves as an independent, unmasked subproblem in which
+// every strongly-connected component runs through the fixpoint loops as
+// a single node over condensed CSR adjacency. The per-variable
+// solutions are broadcast back afterwards. The computed solutions — and
+// therefore every diagnostic — are identical to an uncondensed solve.
 func (s *System) Solve() []*Unsat {
 	n := s.n
-	lower := make([]qual.Elem, n)
-	upper := make([]qual.Elem, n)
 	top := s.set.Top()
-	for i := range upper {
-		upper[i] = top
-	}
+	full := s.set.FullMask()
 
-	// Forward edges propagate lower bounds; reverse edges propagate upper
-	// bounds. Adjacency is rebuilt per solve: systems are solved once or
-	// twice, and the rebuild is linear.
-	type edge struct {
-		to   Var
-		mask qual.Elem
-	}
-	fwd := make([][]edge, n)
-	rev := make([][]edge, n)
-	for _, c := range s.cons {
-		switch {
-		case c.L.isVar && c.R.isVar:
-			fwd[c.L.v] = append(fwd[c.L.v], edge{to: c.R.v, mask: c.Mask})
-			rev[c.R.v] = append(rev[c.R.v], edge{to: c.L.v, mask: c.Mask})
-		case !c.L.isVar && c.R.isVar:
-			lower[c.R.v] = qual.Join(lower[c.R.v], c.L.c&c.Mask)
-		case c.L.isVar && !c.R.isVar:
-			// κ ⊑ L constrains only the masked components; outside the
-			// mask the variable remains free, hence the |^mask.
-			upper[c.L.v] = qual.Meet(upper[c.L.v], c.R.c|^c.Mask)
-		}
-	}
-
-	// Least fixpoint of the lower bounds over forward edges.
-	work := make([]Var, 0, n)
-	inWork := make([]bool, n)
-	for v := 0; v < n; v++ {
-		if lower[v] != 0 {
-			work = append(work, Var(v))
-			inWork[v] = true
-		}
-	}
-	for len(work) > 0 {
-		v := work[len(work)-1]
-		work = work[:len(work)-1]
-		inWork[v] = false
-		for _, e := range fwd[v] {
-			add := lower[v] & e.mask
-			if qual.Leq(add, lower[e.to]) {
-				continue
-			}
-			lower[e.to] = qual.Join(lower[e.to], add)
-			if !inWork[e.to] {
-				work = append(work, e.to)
-				inWork[e.to] = true
+	ec := &s.ec
+	// Pre-size the cache arrays for the new constraint range: a counting
+	// pass, then one exact grow per array, instead of doubling through
+	// appends — scheme fragments are small systems that fill the cache
+	// exactly once, and their allocation count is what shows up in the
+	// polymorphic pipeline.
+	if ec.ncons < len(s.cons) {
+		nvv, nlo, nup, ncc := 0, 0, 0, 0
+		for i := ec.ncons; i < len(s.cons); i++ {
+			c := &s.cons[i]
+			switch {
+			case c.L.isVar && c.R.isVar:
+				nvv++
+			case !c.L.isVar && c.R.isVar:
+				if c.L.c&c.Mask != 0 {
+					nlo++
+				}
+			case c.L.isVar:
+				if c.Mask&^c.R.c != 0 {
+					nup++
+				}
+			default:
+				ncc++
 			}
 		}
+		ec.eFrom = grow32(ec.eFrom, nvv)
+		ec.eTo = grow32(ec.eTo, nvv)
+		ec.loVar = grow32(ec.loVar, nlo)
+		ec.loElem = growElem(ec.loElem, nlo)
+		ec.upVar = grow32(ec.upVar, nup)
+		ec.upC = growElem(ec.upC, nup)
+		ec.upMask = growElem(ec.upMask, nup)
+		ec.upIdx = grow32(ec.upIdx, nup)
+		ec.cc = grow32(ec.cc, ncc)
 	}
-
-	// Greatest fixpoint of the upper bounds over reverse edges.
-	for v := 0; v < n; v++ {
-		if upper[v] != top {
-			work = append(work, Var(v))
-			inWork[v] = true
+	lastMask, lastIdx := qual.Elem(0), -1 // consecutive constraints share masks
+	for i := ec.ncons; i < len(s.cons); i++ {
+		c := &s.cons[i]
+		if c.L.isVar && c.R.isVar {
+			ei := int32(len(ec.eFrom))
+			ec.eFrom = append(ec.eFrom, int32(c.L.v))
+			ec.eTo = append(ec.eTo, int32(c.R.v))
+			mi := lastIdx
+			if c.Mask != lastMask {
+				mi = -1
+				for j, m := range ec.masks {
+					if m == c.Mask {
+						mi = j
+						break
+					}
+				}
+				if mi < 0 {
+					mi = len(ec.masks)
+					ec.masks = append(ec.masks, c.Mask)
+					ec.byMask = append(ec.byMask, nil)
+				}
+				lastMask, lastIdx = c.Mask, mi
+			}
+			ec.byMask[mi] = append(ec.byMask[mi], ei)
+		} else if !c.L.isVar && c.R.isVar {
+			if le := c.L.c & c.Mask; le != 0 {
+				ec.loVar = append(ec.loVar, int32(c.R.v))
+				ec.loElem = append(ec.loElem, le)
+			}
+		} else if c.L.isVar && !c.R.isVar {
+			if c.Mask&^c.R.c != 0 { // keep only bounds that clear bits
+				ec.upVar = append(ec.upVar, int32(c.L.v))
+				ec.upC = append(ec.upC, c.R.c)
+				ec.upMask = append(ec.upMask, c.Mask)
+				ec.upIdx = append(ec.upIdx, int32(i))
+			}
+		} else {
+			// Constant ⊑ constant: AddMasked keeps only violated pairs.
+			ec.cc = append(ec.cc, int32(i))
 		}
 	}
-	for len(work) > 0 {
-		v := work[len(work)-1]
-		work = work[:len(work)-1]
-		inWork[v] = false
-		for _, e := range rev[v] {
-			bound := upper[v] | ^e.mask
-			if qual.Leq(upper[e.to], bound) {
-				continue
-			}
-			upper[e.to] = qual.Meet(upper[e.to], bound)
-			if !inWork[e.to] {
-				work = append(work, e.to)
-				inWork[e.to] = true
-			}
-		}
+	ec.ncons = len(s.cons)
+	eFrom, eTo := ec.eFrom, ec.eTo
+	classes := maskClasses(ec.masks, full)
+
+	sol := make([]qual.Elem, 2*n)
+	lower, upper := sol[:n:n], sol[n:]
+	// Every variable starts at top; each class then meets its
+	// participants' class bits down to the solved values, so variables a
+	// class never relates (and lattice components outside every class)
+	// stay at top without any per-class broadcast over all n variables.
+	for v := range upper {
+		upper[v] = top
 	}
 
+	s.stats = SolveStats{
+		Vars:        n,
+		Constraints: len(s.cons),
+		MaskClasses: len(classes),
+	}
+
+	// Working arrays persist on the System across Solve calls; nothing
+	// is allocated lazily until a class actually has edges.
+	var w *solveScratch
+	if len(eFrom) > 0 {
+		w = s.ensureScratch(n, len(eFrom))
+	}
+
+	for _, class := range classes {
+		tc := top & class
+		// Gather the class's edge buckets: every distinct mask that
+		// intersects the class contains it entirely (maskClasses refines
+		// until that holds), so bucket membership is exact.
+		kept := 0
+		if w != nil {
+			w.buckets = w.buckets[:0]
+			for mi, m := range ec.masks {
+				if m&class != 0 {
+					w.buckets = append(w.buckets, ec.byMask[mi])
+					kept += len(ec.byMask[mi])
+				}
+			}
+		}
+		if kept == 0 {
+			// No ⊑-edges relate this class: constant bounds apply
+			// directly, nothing propagates.
+			for i, v := range ec.loVar {
+				lower[v] |= ec.loElem[i] & class
+			}
+			for i, v := range ec.upVar {
+				upper[v] &= ec.upC[i] | ^(ec.upMask[i] & class)
+			}
+			continue
+		}
+		// All further work — Tarjan, the sweeps, the broadcast — runs
+		// over the dense local numbering of the class's participants.
+		sc, scc, lid, touched := w.sc, w.scc, w.lid, w.touched
+		off, cTo, cl, cu := w.off, w.cTo, w.cl, w.cu
+		var np int
+		np, w.part = classAdj(eFrom, eTo, w.buckets, lid, touched, w.part, off, w.cur, cTo)
+		part := w.part
+		ncomp := tarjan(np, off, cTo, nil, 0, sc, scc)
+		members, mEnd := sc.members, sc.mEnd
+
+		// Condensation counters. Every local id participates, and
+		// tarjan records each component's members contiguously, so the
+		// run lengths in mEnd are the component sizes.
+		s.stats.Components += ncomp
+		prevEnd := int32(0)
+		for c := 0; c < ncomp; c++ {
+			sz := mEnd[c] - prevEnd
+			prevEnd = mEnd[c]
+			if sz >= 2 {
+				s.stats.SCCsCollapsed++
+				s.stats.VarsCollapsed += int(sz) - 1
+			}
+		}
+
+		// Constant bounds attach to the variable's component: every
+		// member of a component is equal on every component of the
+		// class, so the seed is shared exactly. Values are kept
+		// restricted to the class; for upper bounds, ^(mask∩class) keeps
+		// the unconstrained class components at top. Bounds on
+		// variables the class's edges never touch apply directly — they
+		// propagate nowhere.
+		hasLower, hasUpper := false, false
+		for i := 0; i < ncomp; i++ {
+			cl[i] = 0
+			cu[i] = tc
+		}
+		for i, v := range ec.loVar {
+			if seed := ec.loElem[i] & class; seed != 0 {
+				if touched[v] {
+					cl[scc[lid[v]]] |= seed
+					hasLower = true
+				} else {
+					lower[v] |= seed
+				}
+			}
+		}
+		for i, v := range ec.upVar {
+			if ec.upMask[i]&^ec.upC[i]&tc == 0 {
+				continue // bound clears nothing in this class
+			}
+			bound := ec.upC[i] | ^(ec.upMask[i] & class)
+			if touched[v] {
+				cu[scc[lid[v]]] &= bound
+				hasUpper = true
+			} else {
+				upper[v] &= bound
+			}
+		}
+
+		// Tarjan numbers components in reverse topological order: every
+		// edge leaving a component targets a lower-numbered one. The
+		// least and greatest fixpoints therefore reduce to one linear
+		// sweep each — lower bounds flow down the numbering, upper
+		// bounds are gathered coming up — with every edge relaxed
+		// exactly once and no worklist. Edges inside a component stay
+		// harmless (x |= x, x &= x).
+		if hasLower {
+			for c := ncomp - 1; c >= 0; c-- {
+				lv := cl[c]
+				if lv == 0 {
+					continue
+				}
+				mStart := int32(0)
+				if c > 0 {
+					mStart = mEnd[c-1]
+				}
+				for mi := mStart; mi < mEnd[c]; mi++ {
+					u := members[mi]
+					for e := off[u]; e < off[u+1]; e++ {
+						cl[scc[cTo[e]]] |= lv
+					}
+				}
+			}
+		}
+		// The upper sweep already loads every edge's target component, so
+		// the tautological-edge counter rides along; without upper seeds
+		// a dedicated scan over the collapsed components (the only place
+		// such edges can exist — AddMasked rejects variable self-loops)
+		// supplies it.
+		if hasUpper {
+			dropped := 0
+			for c := 0; c < ncomp; c++ {
+				acc := cu[c]
+				mStart := int32(0)
+				if c > 0 {
+					mStart = mEnd[c-1]
+				}
+				for mi := mStart; mi < mEnd[c]; mi++ {
+					u := members[mi]
+					for e := off[u]; e < off[u+1]; e++ {
+						w := scc[cTo[e]]
+						if w == int32(c) {
+							dropped++
+						}
+						acc &= cu[w]
+					}
+				}
+				cu[c] = acc
+			}
+			s.stats.EdgesDropped += dropped
+		} else {
+			prevEnd := int32(0)
+			for c := 0; c < ncomp; c++ {
+				mStart := prevEnd
+				prevEnd = mEnd[c]
+				if prevEnd-mStart < 2 {
+					continue
+				}
+				for mi := mStart; mi < prevEnd; mi++ {
+					u := members[mi]
+					for e := off[u]; e < off[u+1]; e++ {
+						if scc[cTo[e]] == int32(c) {
+							s.stats.EdgesDropped++
+						}
+					}
+				}
+			}
+		}
+
+		// Broadcast the class's share of the solution to the
+		// participants (non-participants already hold their final
+		// values); classes are disjoint, so the per-class values
+		// combine exactly. The participant flags reset here, restoring
+		// classAdj's precondition for the next class.
+		for i, v := range part {
+			lower[v] |= cl[scc[i]]
+			upper[v] &= cu[scc[i]] | ^tc
+			touched[v] = false
+		}
+	}
 	s.lower, s.upper, s.solved = lower, upper, true
 
 	// A system is satisfiable iff the least solution satisfies every
@@ -356,21 +587,35 @@ func (s *System) Solve() []*Unsat {
 	// reaches every copy. Conflicts whose origin reason, sink reason and
 	// offending bits all coincide are reported once, keeping the first in
 	// constraint order (which is deterministic across worker counts).
-	var unsat []*Unsat
-	var incoming [][]int
-	reported := make(map[string]bool)
-	for _, c := range s.cons {
-		if c.R.isVar {
-			continue
+	// Violations can only involve the flattened constant-bound entries
+	// (a dropped entry bounds nothing) or an always-violated constant
+	// pair, so only those are checked — the wide constraint records are
+	// read back solely for the (rare) violations, sorted to restore
+	// constraint order.
+	var viol []int32
+	for i, v := range ec.upVar {
+		if !qual.LeqMask(lower[v], ec.upC[i], ec.upMask[i]) {
+			viol = append(viol, ec.upIdx[i])
 		}
+	}
+	if len(ec.cc) > 0 {
+		viol = append(viol, ec.cc...)
+		sort.Slice(viol, func(i, j int) bool { return viol[i] < viol[j] })
+	}
+
+	var unsat []*Unsat
+	var incoming *incomingCSR
+	var reported map[string]bool // allocated on the first conflict
+	for _, ci := range viol {
+		c := &s.cons[ci]
 		lv := s.valueLower(c.L)
 		bound := c.R.c
 		if !qual.LeqMask(lv, bound, c.Mask) {
 			bad := (lv &^ bound) & c.Mask
-			u := &Unsat{Con: c, Lower: lv & c.Mask, Bound: bound | ^c.Mask}
+			u := &Unsat{Con: *c, Lower: lv & c.Mask, Bound: bound | ^c.Mask}
 			if c.L.isVar {
 				if incoming == nil {
-					incoming = s.incomingIndex()
+					incoming = buildIncomingCSR(s.cons, n)
 				}
 				u.Path = s.blame(c.L.v, bad, incoming)
 			}
@@ -379,6 +624,9 @@ func (s *System) Solve() []*Unsat {
 				origin = u.Path[0].Why.String()
 			}
 			key := fmt.Sprintf("%s\x00%s\x00%x", origin, c.Why.String(), uint64(bad))
+			if reported == nil {
+				reported = make(map[string]bool)
+			}
 			if reported[key] {
 				continue
 			}
@@ -389,18 +637,32 @@ func (s *System) Solve() []*Unsat {
 	return unsat
 }
 
-// incomingIndex builds, per variable, the indices of the constraints
-// whose right side is that variable, in insertion order. It is built
-// lazily on the first conflict; blame then runs breadth-first over it
-// instead of rescanning the whole constraint list per step.
-func (s *System) incomingIndex() [][]int {
-	incoming := make([][]int, s.n)
-	for i, c := range s.cons {
-		if c.R.isVar {
-			incoming[c.R.v] = append(incoming[c.R.v], i)
-		}
+// grow32 and growElem reallocate a once, with room for exactly extra more
+// elements, when its spare capacity is short of that.
+func grow32(a []int32, extra int) []int32 {
+	if cap(a)-len(a) >= extra {
+		return a
 	}
-	return incoming
+	b := make([]int32, len(a), len(a)+extra)
+	copy(b, a)
+	return b
+}
+
+func growElem(a []qual.Elem, extra int) []qual.Elem {
+	if cap(a)-len(a) >= extra {
+		return a
+	}
+	b := make([]qual.Elem, len(a), len(a)+extra)
+	copy(b, a)
+	return b
+}
+
+// Stats reports the size and condensation counters of the last Solve.
+// It panics if the system has not been solved since the last
+// modification.
+func (s *System) Stats() SolveStats {
+	s.mustSolved()
+	return s.stats
 }
 
 func (s *System) valueLower(t Term) qual.Elem {
@@ -420,7 +682,7 @@ func (s *System) valueLower(t Term) qual.Elem {
 // deterministic for any worker count — parallel generation renumbers
 // worker fragments into fixed merge slots — so the extracted trace is
 // byte-identical across -jobs values.
-func (s *System) blame(v Var, bad qual.Elem, incoming [][]int) []Constraint {
+func (s *System) blame(v Var, bad qual.Elem, incoming *incomingCSR) []Constraint {
 	type node struct {
 		v    Var
 		bits qual.Elem
@@ -433,7 +695,8 @@ func (s *System) blame(v Var, bad qual.Elem, incoming [][]int) []Constraint {
 	for len(frontier) > 0 && origin < 0 {
 		next := frontier[:0:0]
 		for _, nd := range frontier {
-			for _, ci := range incoming[nd.v] {
+			for ii := incoming.off[nd.v]; ii < incoming.off[nd.v+1]; ii++ {
+				ci := int(incoming.cons[ii])
 				c := s.cons[ci]
 				bits := nd.bits & c.Mask
 				if bits == 0 {
@@ -540,121 +803,244 @@ func (s *System) Restrict(iface []Var) []Constraint {
 // variables; see (*System).Restrict. It is used by the polymorphic
 // inference to simplify the constraint fragment captured in a type scheme
 // before storing it.
+//
+// The projection preserves, per lattice component, reachability through
+// internal variables only: interface variables terminate the search, so
+// paths through them are recovered by composing the kept edges. It runs
+// as one masked-reachability pass per interface variable over a
+// condensed graph: cycles among internal variables are collapsed first
+// (interface variables stay singletons, so termination semantics are
+// unchanged), and each pass propagates a per-component bitset of the
+// lattice components on which the node is reachable — all components at
+// once, instead of the per-variable-per-bit DFS this replaces. Constant
+// bounds are pre-aggregated per condensed node, so recording them is a
+// pair of mask operations rather than a map update per bit.
 func Restrict(set *qual.Set, cons []Constraint, iface []Var) []Constraint {
-	isIface := make(map[Var]bool, len(iface))
+	full := set.FullMask()
+	top := set.Top()
+
+	// Local dense ids: interface variables first (deduplicated), then
+	// every other variable in first-occurrence order. The same pass
+	// counts the variable-variable edges (nvv) and their internal-
+	// internal subset (nii), so the edge arrays below allocate exactly
+	// once each — this function runs per generalized function in the
+	// polymorphic pipeline, and its fixed allocation overhead is paid
+	// thousands of times.
+	id := make(map[Var]int32, 2*len(iface))
+	locals := make([]Var, 0, len(iface)+2*len(cons))
+	lid := func(v Var) int32 {
+		i, ok := id[v]
+		if !ok {
+			i = int32(len(locals))
+			id[v] = i
+			locals = append(locals, v)
+		}
+		return i
+	}
 	for _, v := range iface {
-		isIface[v] = true
+		lid(v)
 	}
-
-	// Per lattice component b, edges are those whose mask includes b.
-	// Reachability through internal variables only; interface variables
-	// terminate the search (paths through them are composed of the kept
-	// edges).
-	type key struct {
-		from, to Var
-	}
-	edgeMask := make(map[key]qual.Elem)
-	lowerIn := make(map[Var]qual.Elem)
-	upperOut := make(map[Var]map[qual.Elem]qual.Elem) // mask component -> bound; see below
-
-	fwd := make(map[Var][]Constraint)
-	rev := make(map[Var][]Constraint)
+	nIface := len(locals)
+	nvv, nii := 0, 0
 	for _, c := range cons {
+		if c.L.isVar && c.R.isVar {
+			u, v := lid(c.L.v), lid(c.R.v)
+			nvv++
+			if int(u) >= nIface && int(v) >= nIface {
+				nii++
+			}
+			continue
+		}
 		if c.L.isVar {
-			fwd[c.L.v] = append(fwd[c.L.v], c)
+			lid(c.L.v)
 		}
 		if c.R.isVar {
-			rev[c.R.v] = append(rev[c.R.v], c)
+			lid(c.R.v)
+		}
+	}
+	nl := len(locals)
+
+	// Variable-variable edges in local ids; the subset with both
+	// endpoints internal feeds the condensation (merging across an
+	// interface variable would bypass its termination of the search).
+	eSlab := make([]int32, 2*nvv+2*nii)
+	mSlab := make([]qual.Elem, nvv+nii)
+	eFrom, eTo := eSlab[:0:nvv], eSlab[nvv:nvv:2*nvv]
+	iFrom, iTo := eSlab[2*nvv:2*nvv:2*nvv+nii], eSlab[2*nvv+nii:2*nvv+nii:2*nvv+2*nii]
+	eMask, iMask := mSlab[:0:nvv], mSlab[nvv:nvv:nvv+nii]
+	for _, c := range cons {
+		if !c.L.isVar || !c.R.isVar {
+			continue
+		}
+		u, v := id[c.L.v], id[c.R.v]
+		eFrom = append(eFrom, u)
+		eTo = append(eTo, v)
+		eMask = append(eMask, c.Mask)
+		if int(u) >= nIface && int(v) >= nIface {
+			iFrom = append(iFrom, u)
+			iTo = append(iTo, v)
+			iMask = append(iMask, c.Mask)
+		}
+	}
+	comp, ncomp, _ := condense(nl, iFrom, iTo, iMask, full)
+	g := buildCompGraph(comp, ncomp, eFrom, eTo, eMask)
+
+	// Per-node state, again slab-allocated: compIface maps a condensed
+	// node to the interface variable it holds (interface nodes are
+	// singletons), or -1 for internal components; queue, touched and
+	// emTouched are the per-pass worklists, reset via the touched lists
+	// between interface variables.
+	iSlab := make([]int32, 3*ncomp+nIface)
+	compIface := iSlab[:ncomp:ncomp]
+	queue := iSlab[ncomp : ncomp : 2*ncomp]
+	touched := iSlab[2*ncomp : 2*ncomp : 3*ncomp]
+	emTouched := iSlab[3*ncomp : 3*ncomp : 3*ncomp+nIface]
+	for i := range compIface {
+		compIface[i] = -1
+	}
+	for i := 0; i < nIface; i++ {
+		compIface[comp[i]] = int32(i)
+	}
+
+	// Constant bounds aggregated per condensed node. For upper bounds
+	// κ ⊑ c the per-component bound is binary — the component bit is
+	// either kept (every bound carries it) or cleared — so the
+	// aggregate is one AND per constraint; upCover marks components
+	// with at least one bound. reach holds, per condensed node, the
+	// bitset of lattice components on which the node is reachable from
+	// (or backwards to) the current interface variable.
+	aSlab := make([]qual.Elem, 4*ncomp+nIface)
+	loAgg := aSlab[:ncomp:ncomp]
+	upAgg := aSlab[ncomp : 2*ncomp : 2*ncomp]
+	upCover := aSlab[2*ncomp : 3*ncomp : 3*ncomp]
+	reach := aSlab[3*ncomp : 4*ncomp : 4*ncomp]
+	em := aSlab[4*ncomp:]
+	for i := range upAgg {
+		upAgg[i] = top
+	}
+	for _, c := range cons {
+		switch {
+		case !c.L.isVar && c.R.isVar:
+			loAgg[comp[id[c.R.v]]] |= c.L.c & c.Mask
+		case c.L.isVar && !c.R.isVar:
+			u := comp[id[c.L.v]]
+			upAgg[u] &= c.R.c | ^c.Mask
+			upCover[u] |= c.Mask
 		}
 	}
 
-	nbits := set.Len()
-	for _, x := range iface {
-		for b := 0; b < nbits; b++ {
-			bit := qual.Elem(1) << uint(b)
-			// DFS over bit-b edges from x through internal nodes.
-			seen := map[Var]bool{x: true}
-			stack := []Var{x}
-			for len(stack) > 0 {
-				v := stack[len(stack)-1]
-				stack = stack[:len(stack)-1]
-				for _, c := range fwd[v] {
-					if c.Mask&bit == 0 {
-						continue
-					}
-					if !c.R.isVar {
-						// Constant upper bound: x ⊑ c on component b.
-						m := upperOut[x]
-						if m == nil {
-							m = make(map[qual.Elem]qual.Elem)
-							upperOut[x] = m
-						}
-						// Record the bound restricted to this bit.
-						old, ok := m[bit]
-						if !ok {
-							old = set.Top()
-						}
-						m[bit] = qual.Meet(old, c.R.c|^bit)
-						continue
-					}
-					w := c.R.v
-					if isIface[w] {
-						edgeMask[key{x, w}] |= bit
-						continue
-					}
-					if !seen[w] {
-						seen[w] = true
-						stack = append(stack, w)
-					}
-				}
-			}
-			// Constant lower bounds reaching x on component b: walk the
-			// reverse graph.
-			seenR := map[Var]bool{x: true}
-			stackR := []Var{x}
-			for len(stackR) > 0 {
-				v := stackR[len(stackR)-1]
-				stackR = stackR[:len(stackR)-1]
-				for _, c := range rev[v] {
-					if c.Mask&bit == 0 {
-						continue
-					}
-					if !c.L.isVar {
-						lowerIn[x] = qual.Join(lowerIn[x], c.L.c&bit)
-						continue
-					}
-					w := c.L.v
-					if isIface[w] {
-						continue // covered by the edge from w
-					}
-					if !seenR[w] {
-						seenR[w] = true
-						stackR = append(stackR, w)
-					}
-				}
-			}
-		}
-	}
+	inQ := make([]bool, ncomp)
 
 	why := Reason{Msg: "restricted scheme constraint"}
 	var out []Constraint
-	for k, m := range edgeMask {
-		out = append(out, Constraint{L: V(k.from), R: V(k.to), Mask: m, Why: why})
-	}
-	for v, lo := range lowerIn {
-		if lo != 0 {
-			out = append(out, Constraint{L: C(lo), R: V(v), Mask: lo, Why: why})
-		}
-	}
-	for v, m := range upperOut {
-		for bit, bound := range m {
-			if !qual.LeqMask(set.Top(), bound, bit) {
-				out = append(out, Constraint{L: V(v), R: C(bound), Mask: bit, Why: why})
+
+	for ix := 0; ix < nIface; ix++ {
+		cx := comp[ix]
+
+		// Forward pass: interface edges, and constant upper bounds on
+		// the components where they actually constrain x. upperClear
+		// collects the components b with a reachable bound lacking b;
+		// the emitted bound for such a component is always top&^b.
+		var upperClear qual.Elem
+		reach[cx] = full
+		touched = append(touched[:0], cx)
+		queue = append(queue[:0], cx)
+		inQ[cx] = true
+		for len(queue) > 0 {
+			u := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			inQ[u] = false
+			b := reach[u]
+			if cov := upCover[u] & b; cov != 0 {
+				upperClear |= cov &^ upAgg[u]
+			}
+			for e := g.fOff[u]; e < g.fOff[u+1]; e++ {
+				bits := b & g.fMask[e]
+				if bits == 0 {
+					continue
+				}
+				v := g.fTo[e]
+				if iv := compIface[v]; iv >= 0 {
+					if em[iv] == 0 && bits != 0 {
+						emTouched = append(emTouched, iv)
+					}
+					em[iv] |= bits
+					continue
+				}
+				if bits&^reach[v] == 0 {
+					continue
+				}
+				if reach[v] == 0 {
+					touched = append(touched, v)
+				}
+				reach[v] |= bits
+				if !inQ[v] {
+					queue = append(queue, v)
+					inQ[v] = true
+				}
 			}
 		}
+		for _, iv := range emTouched {
+			out = append(out, Constraint{L: V(locals[ix]), R: V(locals[iv]), Mask: em[iv], Why: why})
+			em[iv] = 0
+		}
+		emTouched = emTouched[:0]
+		for _, u := range touched {
+			reach[u] = 0
+		}
+
+		// Backward pass: constant lower bounds flowing into x. Interface
+		// sources terminate the walk (their flow is covered by the edge
+		// kept from them).
+		var lowerIn qual.Elem
+		reach[cx] = full
+		touched = append(touched[:0], cx)
+		queue = append(queue[:0], cx)
+		inQ[cx] = true
+		for len(queue) > 0 {
+			u := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			inQ[u] = false
+			b := reach[u]
+			lowerIn |= loAgg[u] & b
+			for e := g.rOff[u]; e < g.rOff[u+1]; e++ {
+				bits := b & g.rMask[e]
+				if bits == 0 {
+					continue
+				}
+				v := g.rTo[e]
+				if compIface[v] >= 0 {
+					continue
+				}
+				if bits&^reach[v] == 0 {
+					continue
+				}
+				if reach[v] == 0 {
+					touched = append(touched, v)
+				}
+				reach[v] |= bits
+				if !inQ[v] {
+					queue = append(queue, v)
+					inQ[v] = true
+				}
+			}
+		}
+		for _, u := range touched {
+			reach[u] = 0
+		}
+
+		if lowerIn != 0 {
+			out = append(out, Constraint{L: C(lowerIn), R: V(locals[ix]), Mask: lowerIn, Why: why})
+		}
+		for bits := upperClear; bits != 0; bits &= bits - 1 {
+			bit := bits & -bits
+			out = append(out, Constraint{L: V(locals[ix]), R: C(top &^ bit), Mask: bit, Why: why})
+		}
 	}
-	// The maps above iterate in random order; scheme constraints feed
-	// instantiation replay, so the projection must be deterministic.
+
+	// Emission order above follows traversal order; scheme constraints
+	// feed instantiation replay, so the projection is sorted into a
+	// canonical deterministic order.
 	sort.Slice(out, func(i, j int) bool { return less(out[i], out[j]) })
 	return out
 }

@@ -25,6 +25,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/cfront"
 	"repro/internal/constinfer"
+	"repro/internal/constraint"
 	"repro/internal/initcheck"
 )
 
@@ -130,6 +131,10 @@ type Result struct {
 	Diagnostics []Diagnostic
 	// Timings records per-stage wall-clock times.
 	Timings Timings
+	// Solver records the size of the final constraint system and how much
+	// the solver's cycle condensation compressed it (zero value if the
+	// front end failed and the Solve stage never ran).
+	Solver constraint.SolveStats
 }
 
 // HasErrors reports whether any diagnostic is an error.
@@ -291,6 +296,7 @@ func runAnalysis(ctx context.Context, cfg Config, res *Result) error {
 	start = time.Now()
 	conflicts := a.SolveSystem()
 	res.Timings.Solve = time.Since(start)
+	res.Solver = a.SolveStats()
 	if err := ctx.Err(); err != nil {
 		return err
 	}

@@ -17,6 +17,7 @@ type jsonOutput struct {
 	Suggestions []jsonSuggestion `json:"suggestions,omitempty"`
 	Diagnostics []jsonDiagnostic `json:"diagnostics"`
 	Timings     jsonTimings      `json:"timings"`
+	Solver      *jsonSolver      `json:"solver,omitempty"`
 }
 
 type jsonSummary struct {
@@ -62,6 +63,18 @@ type jsonDiagnostic struct {
 type jsonFlow struct {
 	Pos  string `json:"pos,omitempty"`
 	Note string `json:"note"`
+}
+
+// jsonSolver mirrors constraint.SolveStats: the final system's size and
+// the compression the solver's cycle condensation achieved on it.
+type jsonSolver struct {
+	Vars          int `json:"vars"`
+	Constraints   int `json:"constraints"`
+	Components    int `json:"components"`
+	SCCsCollapsed int `json:"sccs_collapsed"`
+	VarsCollapsed int `json:"vars_collapsed"`
+	EdgesDropped  int `json:"edges_dropped"`
+	MaskClasses   int `json:"mask_classes"`
 }
 
 type jsonTimings struct {
@@ -151,6 +164,17 @@ func (r *Result) JSON() ([]byte, error) {
 		ClassifyMS:  ms(t.Classify),
 		EvalMS:      ms(t.Eval),
 		AnalysisMS:  ms(t.Analysis()),
+	}
+	if r.Report != nil { // the Solve stage ran
+		out.Solver = &jsonSolver{
+			Vars:          r.Solver.Vars,
+			Constraints:   r.Solver.Constraints,
+			Components:    r.Solver.Components,
+			SCCsCollapsed: r.Solver.SCCsCollapsed,
+			VarsCollapsed: r.Solver.VarsCollapsed,
+			EdgesDropped:  r.Solver.EdgesDropped,
+			MaskClasses:   r.Solver.MaskClasses,
+		}
 	}
 	return json.MarshalIndent(out, "", "  ")
 }

@@ -39,6 +39,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/cache"
 	"repro/internal/constinfer"
+	"repro/internal/constraint"
 	"repro/internal/driver"
 )
 
@@ -83,9 +84,10 @@ type Server struct {
 	timeouts atomic.Uint64 // requests that hit their deadline
 	inFlight atomic.Int64  // analyze requests currently being served
 
-	tmu        sync.Mutex
-	stageTotal driver.Timings // summed wall-clock per stage over analyses
-	stageRuns  uint64
+	tmu         sync.Mutex
+	stageTotal  driver.Timings // summed wall-clock per stage over analyses
+	stageRuns   uint64
+	solverTotal SolverTotals // summed solver condensation counters
 
 	amu         sync.Mutex
 	perAnalysis map[string]*analysisCounters
@@ -286,7 +288,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	}
 	s.analyses.Add(1)
 	s.countDiagnostics(res.Diagnostics)
-	s.recordTimings(res.Timings)
+	s.recordTimings(res.Timings, res.Solver)
 	s.results.Put(key, report)
 	s.writeReport(w, report, "miss")
 }
@@ -302,7 +304,7 @@ func (s *Server) writeReport(w http.ResponseWriter, report []byte, cacheState st
 	w.Write(append(report, '\n'))
 }
 
-func (s *Server) recordTimings(t driver.Timings) {
+func (s *Server) recordTimings(t driver.Timings, st constraint.SolveStats) {
 	s.tmu.Lock()
 	defer s.tmu.Unlock()
 	s.stageTotal.Load += t.Load
@@ -313,6 +315,12 @@ func (s *Server) recordTimings(t driver.Timings) {
 	s.stageTotal.Classify += t.Classify
 	s.stageTotal.Eval += t.Eval
 	s.stageRuns++
+	s.solverTotal.Vars += uint64(st.Vars)
+	s.solverTotal.Constraints += uint64(st.Constraints)
+	s.solverTotal.Components += uint64(st.Components)
+	s.solverTotal.SCCsCollapsed += uint64(st.SCCsCollapsed)
+	s.solverTotal.VarsCollapsed += uint64(st.VarsCollapsed)
+	s.solverTotal.EdgesDropped += uint64(st.EdgesDropped)
 }
 
 // counters returns the counter cell for an analysis, creating it on
@@ -355,15 +363,16 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 // Metrics is the GET /metrics response shape.
 type Metrics struct {
-	UptimeMS     float64     `json:"uptime_ms"`
-	Requests     uint64      `json:"requests"`
-	Analyses     uint64      `json:"analyses"`
-	Failures     uint64      `json:"failures"`
-	Timeouts     uint64      `json:"timeouts"`
-	InFlight     int64       `json:"in_flight"`
-	ResultCache  cache.Stats `json:"result_cache"`
-	SummaryCache cache.Stats `json:"summary_cache"`
-	Stages       StageTotals `json:"stages"`
+	UptimeMS     float64      `json:"uptime_ms"`
+	Requests     uint64       `json:"requests"`
+	Analyses     uint64       `json:"analyses"`
+	Failures     uint64       `json:"failures"`
+	Timeouts     uint64       `json:"timeouts"`
+	InFlight     int64        `json:"in_flight"`
+	ResultCache  cache.Stats  `json:"result_cache"`
+	SummaryCache cache.Stats  `json:"summary_cache"`
+	Stages       StageTotals  `json:"stages"`
+	Solver       SolverTotals `json:"solver"`
 	// PerAnalysis breaks request and diagnostic counts down by qualifier
 	// analysis ("const", "taint", ...).
 	PerAnalysis map[string]AnalysisMetrics `json:"per_analysis"`
@@ -392,10 +401,22 @@ type StageTotals struct {
 	AnalysisMS  float64 `json:"analysis_ms"`
 }
 
+// SolverTotals sums the solver's size and condensation counters (see
+// constraint.SolveStats) over every analysis run; like Stages, cache
+// hits run no solve and are excluded.
+type SolverTotals struct {
+	Vars          uint64 `json:"vars"`
+	Constraints   uint64 `json:"constraints"`
+	Components    uint64 `json:"components"`
+	SCCsCollapsed uint64 `json:"sccs_collapsed"`
+	VarsCollapsed uint64 `json:"vars_collapsed"`
+	EdgesDropped  uint64 `json:"edges_dropped"`
+}
+
 // Snapshot returns the current metrics.
 func (s *Server) Snapshot() Metrics {
 	s.tmu.Lock()
-	t, runs := s.stageTotal, s.stageRuns
+	t, runs, solver := s.stageTotal, s.stageRuns, s.solverTotal
 	s.tmu.Unlock()
 	s.amu.Lock()
 	per := make(map[string]AnalysisMetrics, len(s.perAnalysis))
@@ -414,6 +435,7 @@ func (s *Server) Snapshot() Metrics {
 		ResultCache:  s.results.Stats(),
 		SummaryCache: s.summaries.Stats(),
 		PerAnalysis:  per,
+		Solver:       solver,
 		Stages: StageTotals{
 			Runs:        runs,
 			LoadMS:      ms(t.Load),
