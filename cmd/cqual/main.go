@@ -27,6 +27,12 @@
 //	getenv(_) -> tainted
 //	printf(untainted, ...)
 //
+// With -trace FILE the run additionally records a hierarchical span
+// trace of every pipeline stage — per-function constraint generation,
+// per-mask-class solver sweeps — as Chrome trace-event JSON, viewable in
+// chrome://tracing or Perfetto. The trace is deterministic: the same
+// sources produce the same span sequence for every -jobs value.
+//
 // With -serve URL the files are not analyzed locally: they are POSTed to
 // a running cquald daemon at URL and the daemon's JSON report — which is
 // byte-identical to what -json would print here — goes to stdout. Exit
@@ -36,6 +42,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -48,11 +55,12 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/constinfer"
 	"repro/internal/driver"
+	"repro/internal/obs"
 	"repro/internal/qual"
 	"repro/internal/server"
 )
 
-const usage = "usage: cqual [-analysis LIST] [-prelude FILES] [-poly] [-polyrec] [-simplify] [-v] [-json] [-stats] [-serve URL] file.c ..."
+const usage = "usage: cqual [-analysis LIST] [-prelude FILES] [-poly] [-polyrec] [-simplify] [-v] [-json] [-stats] [-trace FILE] [-serve URL] file.c ..."
 
 func main() {
 	poly := flag.Bool("poly", false, "polymorphic qualifier inference (Section 4.3)")
@@ -65,6 +73,7 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit the report and diagnostics as JSON")
 	stats := flag.Bool("stats", false, "print solver statistics (system size, cycle condensation) to stderr")
 	jobs := flag.Int("jobs", 0, "constraint-generation workers (0 = GOMAXPROCS; results are identical for every value)")
+	traceFile := flag.String("trace", "", "write a Chrome trace-event JSON of the pipeline to this file (view in chrome://tracing or Perfetto)")
 	serve := flag.String("serve", "", "analyze via a running cquald daemon at this base URL instead of locally")
 	analysisFlag := flag.String("analysis", "const", "comma-separated qualifier analyses to run together (see -analyses)")
 	preludeFlag := flag.String("prelude", "", "comma-separated prelude files declaring library seeds and sinks")
@@ -104,6 +113,10 @@ func main() {
 	}
 
 	if *serve != "" {
+		if *traceFile != "" {
+			fmt.Fprintln(os.Stderr, "cqual: -trace records the local pipeline and cannot be combined with -serve (use the daemon's ?trace=1 instead)")
+			os.Exit(2)
+		}
 		os.Exit(runRemote(*serve, remoteOptions{
 			poly: *poly, polyrec: *polyrec, simplify: *simplify || *schemes,
 			uninit: *uninit, jobs: *jobs,
@@ -122,7 +135,21 @@ func main() {
 		Analyses: analyses,
 		Preludes: preludes,
 	}
-	res, err := driver.Run(cfg, driver.FileSources(flag.Args()...))
+	ctx := context.Background()
+	var tracer *obs.Tracer
+	if *traceFile != "" {
+		tracer = obs.NewTracer(nil)
+		ctx = obs.WithTracer(ctx, tracer)
+	}
+	res, err := driver.RunContext(ctx, cfg, driver.FileSources(flag.Args()...))
+	if tracer != nil {
+		// Written before the exit-status paths below: a run that found
+		// conflicts is exactly the one worth profiling.
+		if werr := writeTrace(*traceFile, tracer); werr != nil {
+			fmt.Fprintln(os.Stderr, "cqual:", werr)
+			os.Exit(2)
+		}
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cqual:", err)
 		os.Exit(2)
@@ -344,6 +371,19 @@ func runRemote(base string, opts remoteOptions, paths []string) int {
 	default:
 		return 0
 	}
+}
+
+// writeTrace exports the recorded spans as Chrome trace-event JSON.
+func writeTrace(path string, tracer *obs.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tracer.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func emitJSON(res *driver.Result) {

@@ -9,13 +9,20 @@
 //	       [-timeout d] [-shutdown-timeout d]
 //	       [-result-cache-entries n] [-result-cache-bytes n]
 //	       [-summary-cache-entries n] [-summary-cache-bytes n]
+//	       [-pprof] [-slow-request d] [-trace-entries n]
 //
 // POST a batch of sources to /v1/analyze and receive the same JSON
 // report `cqual -json` prints; repeated requests for unchanged sources
 // are answered from cache (X-Cache: hit), and requests that change one
 // function re-derive only that function's constraint fragment. /healthz
-// and /metrics serve liveness and counters. SIGINT/SIGTERM drain
-// in-flight requests before exiting.
+// and /metrics serve liveness and counters; /metrics answers Prometheus
+// text exposition (with latency histograms) to Accept: text/plain or
+// ?format=prometheus. Every analyze response carries an X-Trace-Id;
+// POSTing with ?trace=1 records a Chrome trace of that request,
+// retrievable at /v1/traces/<id>. -pprof mounts the net/http/pprof
+// handlers under /debug/pprof/; -slow-request logs requests slower than
+// the threshold. SIGINT/SIGTERM drain in-flight requests before
+// exiting.
 package main
 
 import (
@@ -44,6 +51,9 @@ func main() {
 	resultBytes := flag.Int64("result-cache-bytes", 256<<20, "result cache: max stored report bytes (0 = unbounded)")
 	summaryEntries := flag.Int("summary-cache-entries", 65536, "per-function summary cache: max entries (0 = unbounded)")
 	summaryBytes := flag.Int64("summary-cache-bytes", 256<<20, "per-function summary cache: max approximate bytes (0 = unbounded)")
+	enablePprof := flag.Bool("pprof", false, "mount the net/http/pprof profiling handlers under /debug/pprof/")
+	slowRequest := flag.Duration("slow-request", 0, "log analyze requests at or above this latency (0 = disabled)")
+	traceEntries := flag.Int("trace-entries", 0, "retained ?trace=1 traces (0 = 32)")
 	flag.Parse()
 
 	if *jobs < 0 {
@@ -63,6 +73,9 @@ func main() {
 		ResultBytes:    *resultBytes,
 		SummaryEntries: *summaryEntries,
 		SummaryBytes:   *summaryBytes,
+		EnablePprof:    *enablePprof,
+		SlowRequest:    *slowRequest,
+		TraceEntries:   *traceEntries,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

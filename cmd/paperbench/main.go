@@ -5,12 +5,16 @@
 //
 // Usage:
 //
-//	paperbench [-table1] [-table2] [-figure6] [-simplify] [-polyrec]
+//	paperbench [-table1] [-table2] [-figure6] [-simplify] [-polyrec] [-out FILE]
 //
-// With no selection flags, everything is printed.
+// With no selection flags, everything is printed. -out additionally
+// writes the per-benchmark measurements as machine-readable JSON (the
+// repository tracks them as BENCH_N.json files, one per perf-relevant
+// change, so the trajectory accumulates).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -19,12 +23,35 @@ import (
 	"repro/internal/experiment"
 )
 
+// benchJSON is the -out schema: one record per benchmark, mirroring the
+// Table 2 columns plus the generated size.
+type benchJSON struct {
+	Name          string  `json:"name"`
+	Lines         int     `json:"lines"`
+	CompileTimeMS float64 `json:"compile_time_ms"`
+	MonoTimeMS    float64 `json:"mono_time_ms"`
+	PolyTimeMS    float64 `json:"poly_time_ms"`
+	Declared      int     `json:"declared_const"`
+	Mono          int     `json:"mono_const"`
+	Poly          int     `json:"poly_const"`
+	Total         int     `json:"total_positions"`
+}
+
+type benchFile struct {
+	Options struct {
+		Simplify bool `json:"simplify"`
+		PolyRec  bool `json:"polyrec"`
+	} `json:"options"`
+	Benchmarks []benchJSON `json:"benchmarks"`
+}
+
 func main() {
 	table1 := flag.Bool("table1", false, "print Table 1 only")
 	table2 := flag.Bool("table2", false, "print Table 2 only")
 	figure6 := flag.Bool("figure6", false, "print Figure 6 only")
 	simplify := flag.Bool("simplify", true, "scheme simplification in the polymorphic pass (the Section 6 optimization; disable with -simplify=false)")
 	polyrec := flag.Bool("polyrec", false, "enable polymorphic recursion in the polymorphic pass")
+	out := flag.String("out", "", "also write the measurements as JSON to this file (e.g. BENCH_5.json)")
 	flag.Parse()
 
 	opts := constinfer.Options{Simplify: *simplify, PolyRec: *polyrec}
@@ -44,4 +71,35 @@ func main() {
 	if all || *figure6 {
 		fmt.Println(experiment.Figure6(results))
 	}
+
+	if *out != "" {
+		if err := writeJSON(*out, opts, results); err != nil {
+			fmt.Fprintln(os.Stderr, "paperbench:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func writeJSON(path string, opts constinfer.Options, results []*experiment.Result) error {
+	var f benchFile
+	f.Options.Simplify = opts.Simplify
+	f.Options.PolyRec = opts.PolyRec
+	for _, r := range results {
+		f.Benchmarks = append(f.Benchmarks, benchJSON{
+			Name:          r.Config.Name,
+			Lines:         r.Lines,
+			CompileTimeMS: r.CompileTime.Seconds() * 1000,
+			MonoTimeMS:    r.MonoTime.Seconds() * 1000,
+			PolyTimeMS:    r.PolyTime.Seconds() * 1000,
+			Declared:      r.Declared,
+			Mono:          r.Mono,
+			Poly:          r.Poly,
+			Total:         r.Total,
+		})
+	}
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }

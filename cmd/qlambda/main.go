@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	qlambda [-spec name] [-mono] [-eval] [-lattice] (-e 'expr' | file.q)
+//	qlambda [-spec name] [-mono] [-eval] [-lattice] [-trace FILE] (-e 'expr' | file.q)
 //
 // Built-in specs: const, nonzero, bindingtime, taint, figure2. The
 // -lattice flag prints the spec's qualifier lattice as a Hasse diagram
@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -18,6 +19,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/driver"
 	"repro/internal/eval"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -26,6 +28,7 @@ func main() {
 	doEval := flag.Bool("eval", false, "evaluate the program under the Figure-5 semantics")
 	lattice := flag.Bool("lattice", false, "print the qualifier lattice and exit")
 	exprText := flag.String("e", "", "program text (instead of a file)")
+	traceFile := flag.String("trace", "", "write a Chrome trace-event JSON of the pipeline to this file")
 	flag.Parse()
 
 	spec, err := core.Lookup(*specName)
@@ -56,11 +59,30 @@ func main() {
 		src = string(data)
 	}
 
-	res := driver.RunLambda(driver.LambdaConfig{
+	ctx := context.Background()
+	var tracer *obs.Tracer
+	if *traceFile != "" {
+		tracer = obs.NewTracer(nil)
+		ctx = obs.WithTracer(ctx, tracer)
+	}
+	res := driver.RunLambdaContext(ctx, driver.LambdaConfig{
 		Spec:        spec,
 		Monomorphic: *mono,
 		Eval:        *doEval,
 	}, file, src)
+	if tracer != nil {
+		f, err := os.Create(*traceFile)
+		if err == nil {
+			err = tracer.WriteJSON(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "qlambda:", err)
+			os.Exit(2)
+		}
+	}
 
 	var conflicts, others []driver.Diagnostic
 	for _, d := range res.Diagnostics {

@@ -7,7 +7,10 @@
 // server's /metrics endpoint.
 package cache
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // Stats is a point-in-time snapshot of a cache's counters and occupancy.
 type Stats struct {
@@ -28,17 +31,21 @@ type entry[K comparable, V any] struct {
 }
 
 // lru is a mutex-guarded LRU map bounded by entry count and/or total
-// cost. A zero bound means unbounded in that dimension.
+// cost. A zero bound means unbounded in that dimension. The counters
+// and occupancy figures are atomic so that stats() — the /metrics
+// scrape path — never takes the map mutex and never contends with
+// lookups.
 type lru[K comparable, V any] struct {
 	mu         sync.Mutex
 	maxEntries int
 	maxBytes   int64
 	items      map[K]*entry[K, V]
 	root       entry[K, V] // sentinel
-	bytes      int64
-	hits       uint64
-	misses     uint64
-	evictions  uint64
+	bytes      atomic.Int64
+	entries    atomic.Int64
+	hits       atomic.Uint64
+	misses     atomic.Uint64
+	evictions  atomic.Uint64
 }
 
 func newLRU[K comparable, V any](maxEntries int, maxBytes int64) *lru[K, V] {
@@ -66,11 +73,11 @@ func (l *lru[K, V]) get(k K) (V, bool) {
 	defer l.mu.Unlock()
 	e, ok := l.items[k]
 	if !ok {
-		l.misses++
+		l.misses.Add(1)
 		var zero V
 		return zero, false
 	}
-	l.hits++
+	l.hits.Add(1)
 	l.unlink(e)
 	l.pushFront(e)
 	return e.val, true
@@ -84,7 +91,7 @@ func (l *lru[K, V]) put(k K, v V, cost int64) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if e, ok := l.items[k]; ok {
-		l.bytes += cost - e.cost
+		l.bytes.Add(cost - e.cost)
 		e.val, e.cost = v, cost
 		l.unlink(e)
 		l.pushFront(e)
@@ -92,27 +99,29 @@ func (l *lru[K, V]) put(k K, v V, cost int64) {
 		e = &entry[K, V]{key: k, val: v, cost: cost}
 		l.items[k] = e
 		l.pushFront(e)
-		l.bytes += cost
+		l.bytes.Add(cost)
+		l.entries.Add(1)
 	}
 	for len(l.items) > 1 &&
 		((l.maxEntries > 0 && len(l.items) > l.maxEntries) ||
-			(l.maxBytes > 0 && l.bytes > l.maxBytes)) {
+			(l.maxBytes > 0 && l.bytes.Load() > l.maxBytes)) {
 		cold := l.root.prev
 		l.unlink(cold)
 		delete(l.items, cold.key)
-		l.bytes -= cold.cost
-		l.evictions++
+		l.bytes.Add(-cold.cost)
+		l.entries.Add(-1)
+		l.evictions.Add(1)
 	}
 }
 
+// stats snapshots the counters without taking the map mutex: the fields
+// are atomics, so a scrape never contends with lookups or insertions.
 func (l *lru[K, V]) stats() Stats {
-	l.mu.Lock()
-	defer l.mu.Unlock()
 	return Stats{
-		Hits:      l.hits,
-		Misses:    l.misses,
-		Evictions: l.evictions,
-		Entries:   len(l.items),
-		Bytes:     l.bytes,
+		Hits:      l.hits.Load(),
+		Misses:    l.misses.Load(),
+		Evictions: l.evictions.Load(),
+		Entries:   int(l.entries.Load()),
+		Bytes:     l.bytes.Load(),
 	}
 }

@@ -1,12 +1,14 @@
 package constinfer
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"repro/internal/analysis"
 	"repro/internal/cfront"
 	"repro/internal/constraint"
+	"repro/internal/obs"
 	"repro/internal/qual"
 )
 
@@ -304,17 +306,37 @@ func (a *Analysis) Prepare() {
 // pool size. Polymorphic recursion re-analyzes bodies iteratively and
 // keeps the sequential per-SCC path.
 func (a *Analysis) Constrain(jobs int) {
+	a.ConstrainContext(context.Background(), jobs)
+}
+
+// ConstrainContext is Constrain with tracing. When the context carries
+// an obs.Tracer, the stage emits "constrain.signatures", "constrain.pool"
+// and "constrain.globals" spans plus one "constrain.func" span per
+// defined function, recorded at the deterministic SCC-ordered merge —
+// never from pool workers — with the function name and how its fragment
+// was obtained (cache: summary-cache replay, pool: merged worker
+// fragment, seq: sequential re-analysis after a speculation miss). The
+// span sequence is therefore identical for every pool size, which is
+// what makes traces byte-identical across -jobs values under a fake
+// clock (see obs).
+func (a *Analysis) ConstrainContext(ctx context.Context, jobs int) {
+	tr := obs.FromContext(ctx)
 	a.Prepare()
 	if a.opts.PolyRec {
+		sp := tr.Start("constinfer", "constrain.polyrec",
+			obs.Int("sccs", len(a.sccs)))
 		for _, scc := range a.sccs {
 			a.processSCC(scc.funcs)
 		}
+		sp.End()
 		a.analyzeGlobalInits()
 		return
 	}
 
 	// Signatures and positions, SCC order (sequential: signatures of one
 	// component may share struct types with any other).
+	sp := tr.Start("constinfer", "constrain.signatures",
+		obs.Int("sccs", len(a.sccs)), obs.Int("functions", len(a.defined)))
 	for _, scc := range a.sccs {
 		scc.sigVars[0], scc.sigCons[0] = a.sys.NumVars(), a.sys.NumConstraints()
 		for _, fi := range scc.funcs {
@@ -323,15 +345,37 @@ func (a *Analysis) Constrain(jobs int) {
 		}
 		scc.sigVars[1], scc.sigCons[1] = a.sys.NumVars(), a.sys.NumConstraints()
 	}
+	sp.End()
 
 	// Per-function constraint generation on the worker pool (with cached
 	// summaries replayed for unchanged functions), then the deterministic
-	// SCC-ordered merge and generalization.
+	// SCC-ordered merge and generalization. The pool span brackets the
+	// parallel section from the sequential spine; workers record nothing.
+	sp = tr.Start("constinfer", "constrain.pool")
 	results := a.cachedBodyResults(jobs)
+	hits := 0
+	for i := range results {
+		if results[i].cached {
+			hits++
+		}
+	}
+	sp.SetAttr(obs.Int("functions", len(a.defined)),
+		obs.Int("cache_hits", hits), obs.Int("cache_misses", len(a.defined)-hits))
+	sp.End()
 	for _, scc := range a.sccs {
 		scc.bodyVars[0], scc.bodyCons[0] = a.sys.NumVars(), a.sys.NumConstraints()
 		for _, fi := range scc.funcs {
-			if r := &results[fi.ord]; r.miss {
+			r := &results[fi.ord]
+			src := "pool"
+			switch {
+			case r.miss:
+				src = "seq"
+			case r.cached:
+				src = "cache"
+			}
+			fsp := tr.Start("constinfer", "constrain.func",
+				obs.String("func", fi.name), obs.String("cache", src))
+			if r.miss {
 				// The body needs a shared entity (implicit global or
 				// declaration, in-body struct type) that only the
 				// sequential path may create.
@@ -339,13 +383,16 @@ func (a *Analysis) Constrain(jobs int) {
 			} else {
 				a.mergeBody(r)
 			}
+			fsp.End()
 		}
 		scc.bodyVars[1], scc.bodyCons[1] = a.sys.NumVars(), a.sys.NumConstraints()
 		if a.opts.Poly {
 			a.generalizeSCC(scc)
 		}
 	}
+	sp = tr.Start("constinfer", "constrain.globals")
 	a.analyzeGlobalInits()
+	sp.End()
 }
 
 // analyzeGlobalInits relates global initializers after the FDG traversal
@@ -365,6 +412,12 @@ func (a *Analysis) analyzeGlobalInits() {
 // returns the unsatisfiable constraints.
 func (a *Analysis) SolveSystem() []*constraint.Unsat {
 	return a.sys.Solve()
+}
+
+// SolveSystemContext is SolveSystem with tracing: the solver emits one
+// "solve.class" span per mask class (see constraint.SolveContext).
+func (a *Analysis) SolveSystemContext(ctx context.Context) []*constraint.Unsat {
+	return a.sys.SolveContext(ctx)
 }
 
 // SolveStats reports the size and condensation counters of the final

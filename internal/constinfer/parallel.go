@@ -68,6 +68,10 @@ type bodyResult struct {
 	pinned []constraint.Var // worker-allocated pinned variables, sorted
 	insts  []instRecord
 	miss   bool
+	// cached marks a fragment replayed from the summary cache rather
+	// than computed by the pool; the tracer's per-function merge spans
+	// report it as their cache attribute.
+	cached bool
 }
 
 // instantiate symbolically instantiates a callee from an earlier SCC: the

@@ -222,6 +222,7 @@ func (a *Analysis) cachedBodyResults(jobs int) []bodyResult {
 		keys[i] = bodyKey(pre, fi)
 		if s, ok := a.summaries.GetSummary(keys[i]); ok {
 			if r, ok := a.resultFromSummary(s); ok {
+				r.cached = true
 				cached[i] = r
 				skip[i] = true
 			}

@@ -20,10 +20,12 @@
 package constraint
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 
+	"repro/internal/obs"
 	"repro/internal/qual"
 )
 
@@ -301,6 +303,18 @@ func (s *System) AddConstraints(cons []Constraint, rename map[Var]Var) {
 // solutions are broadcast back afterwards. The computed solutions — and
 // therefore every diagnostic — are identical to an uncondensed solve.
 func (s *System) Solve() []*Unsat {
+	return s.SolveContext(context.Background())
+}
+
+// SolveContext is Solve with tracing: when the context carries an
+// obs.Tracer, each mask class emits one "solve.class" span recording
+// the class mask, its participating variables and edges, and the SCCs
+// the condensation collapsed. Spans are started and ended only from
+// this sequential per-class loop, so traces are deterministic (see the
+// obs package comment). A context without a tracer costs one value
+// lookup per solve.
+func (s *System) SolveContext(ctx context.Context) []*Unsat {
+	tr := obs.FromContext(ctx)
 	n := s.n
 	top := s.set.Top()
 	full := s.set.FullMask()
@@ -410,6 +424,8 @@ func (s *System) Solve() []*Unsat {
 
 	for _, class := range classes {
 		tc := top & class
+		sp := tr.Start("solver", "solve.class",
+			obs.String("mask", fmt.Sprintf("%#x", uint64(class))))
 		// Gather the class's edge buckets: every distinct mask that
 		// intersects the class contains it entirely (maskClasses refines
 		// until that holds), so bucket membership is exact.
@@ -432,6 +448,8 @@ func (s *System) Solve() []*Unsat {
 			for i, v := range ec.upVar {
 				upper[v] &= ec.upC[i] | ^(ec.upMask[i] & class)
 			}
+			sp.SetAttr(obs.Int("edges", 0), obs.Int("vars", 0))
+			sp.End()
 			continue
 		}
 		// All further work — Tarjan, the sweeps, the broadcast — runs
@@ -443,6 +461,8 @@ func (s *System) Solve() []*Unsat {
 		part := w.part
 		ncomp := tarjan(np, off, cTo, nil, 0, sc, scc)
 		members, mEnd := sc.members, sc.mEnd
+		sp.SetAttr(obs.Int("edges", kept), obs.Int("vars", np),
+			obs.Int("components", ncomp))
 
 		// Condensation counters. Every local id participates, and
 		// tarjan records each component's members contiguously, so the
@@ -573,6 +593,7 @@ func (s *System) Solve() []*Unsat {
 			upper[v] &= cu[scc[i]] | ^tc
 			touched[v] = false
 		}
+		sp.End()
 	}
 	s.lower, s.upper, s.solved = lower, upper, true
 

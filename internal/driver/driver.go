@@ -27,6 +27,7 @@ import (
 	"repro/internal/constinfer"
 	"repro/internal/constraint"
 	"repro/internal/initcheck"
+	"repro/internal/obs"
 )
 
 // Config selects the analysis mode for the C qualifier pipeline.
@@ -104,13 +105,24 @@ type Timings struct {
 	Constrain time.Duration
 	Solve     time.Duration
 	Classify  time.Duration
-	Eval      time.Duration
+	// Report is the diagnostic-assembly stage: conflict rendering (with
+	// flow traces) and the optional initialization check. It is recorded
+	// uniformly by Run/RunContext/RunFiles, so the per-stage timings sum
+	// to the pipeline's wall clock.
+	Report time.Duration
+	Eval   time.Duration
 }
 
 // Analysis is the total inference time: everything after the front end
 // (the paper's Mono/Poly columns; Parse is its "Compile time" column).
 func (t Timings) Analysis() time.Duration {
 	return t.Build + t.Constrain + t.Solve + t.Classify
+}
+
+// Total sums every stage: the pipeline's wall clock as the stages saw
+// it.
+func (t Timings) Total() time.Duration {
+	return t.Load + t.Parse + t.Analysis() + t.Report + t.Eval
 }
 
 // Result is the outcome of a pipeline run.
@@ -178,8 +190,15 @@ func RunContext(ctx context.Context, cfg Config, sources []Source) (*Result, err
 		return nil, errors.New("driver: no input sources")
 	}
 	res := &Result{Config: cfg}
+	tr := obs.FromContext(ctx)
+	run := tr.Start("driver", "driver.run",
+		obs.String("mode", cfg.Mode()),
+		obs.String("analyses", strings.Join(cfg.AnalysisNames(), ",")),
+		obs.Int("sources", len(sources)))
+	defer run.End()
 
 	// Load: read every source, collecting every failure.
+	sp := tr.Start("driver", "driver.load", obs.Int("sources", len(sources)))
 	start := time.Now()
 	texts := make([]string, len(sources))
 	loadErrs := make([]error, len(sources))
@@ -196,11 +215,14 @@ func RunContext(ctx context.Context, cfg Config, sources []Source) (*Result, err
 		texts[i] = string(data)
 	}
 	res.Timings.Load = time.Since(start)
+	sp.End()
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 
-	// Parse: concurrent across files; diagnostics in input order.
+	// Parse: concurrent across files; one span brackets the concurrent
+	// section (per-file spans would make traces scheduling-dependent).
+	sp = tr.Start("driver", "driver.parse", obs.Int("files", len(sources)))
 	start = time.Now()
 	files := make([]*cfront.File, len(sources))
 	parseErrs := make([]error, len(sources))
@@ -221,10 +243,14 @@ func RunContext(ctx context.Context, cfg Config, sources []Source) (*Result, err
 	wg.Wait()
 	res.Timings.Parse = time.Since(start)
 	res.Files = files
+	sp.End()
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 
+	// Front-end diagnostics count toward the Report stage, so the stage
+	// timings sum to wall clock on the failure path too.
+	start = time.Now()
 	for i, s := range sources {
 		if loadErrs[i] != nil {
 			res.Diagnostics = append(res.Diagnostics, loadDiagnostic(s.Path, loadErrs[i]))
@@ -232,6 +258,7 @@ func RunContext(ctx context.Context, cfg Config, sources []Source) (*Result, err
 			res.Diagnostics = append(res.Diagnostics, parseDiagnostic(s.Path, parseErrs[i]))
 		}
 	}
+	res.Timings.Report += time.Since(start)
 	if res.HasErrors() {
 		return res, nil
 	}
@@ -260,16 +287,20 @@ func RunFiles(cfg Config, files []*cfront.File) (*Result, error) {
 // the optional initialization check over res.Files, checking ctx at each
 // stage boundary.
 func runAnalysis(ctx context.Context, cfg Config, res *Result) error {
+	tr := obs.FromContext(ctx)
+	sp := tr.Start("driver", "driver.build")
 	start := time.Now()
 	suite, diags, err := buildSuite(cfg)
 	res.Diagnostics = append(res.Diagnostics, diags...)
 	if err != nil {
+		sp.End()
 		return err
 	}
 	if suite == nil {
 		// Prelude failures are front-end-style errors: reported as
 		// diagnostics, no analysis runs, Report stays nil.
 		res.Timings.Build = time.Since(start)
+		sp.End()
 		return nil
 	}
 	opts := cfg.Options
@@ -282,29 +313,45 @@ func runAnalysis(ctx context.Context, cfg Config, res *Result) error {
 
 	a.Prepare()
 	res.Timings.Build = time.Since(start)
+	sp.End()
 	if err := ctx.Err(); err != nil {
 		return err
 	}
 
+	sp = tr.Start("driver", "driver.constrain")
 	start = time.Now()
-	a.Constrain(cfg.Jobs)
+	a.ConstrainContext(ctx, cfg.Jobs)
 	res.Timings.Constrain = time.Since(start)
+	sp.End()
 	if err := ctx.Err(); err != nil {
 		return err
 	}
 
+	sp = tr.Start("driver", "driver.solve")
 	start = time.Now()
-	conflicts := a.SolveSystem()
+	conflicts := a.SolveSystemContext(ctx)
 	res.Timings.Solve = time.Since(start)
 	res.Solver = a.SolveStats()
+	sp.SetAttr(obs.Int("vars", res.Solver.Vars),
+		obs.Int("constraints", res.Solver.Constraints),
+		obs.Int("mask_classes", res.Solver.MaskClasses),
+		obs.Int("conflicts", len(conflicts)))
+	sp.End()
 	if err := ctx.Err(); err != nil {
 		return err
 	}
 
+	sp = tr.Start("driver", "driver.classify")
 	start = time.Now()
 	res.Report = a.Classify(conflicts)
 	res.Timings.Classify = time.Since(start)
+	sp.End()
 
+	// Report: conflict diagnostics (each with its blame-path flow trace)
+	// and the optional initialization check. Timed as its own stage so
+	// the stage timings sum to wall clock for every caller.
+	sp = tr.Start("driver", "driver.report", obs.Int("conflicts", len(conflicts)))
+	start = time.Now()
 	for _, u := range conflicts {
 		res.Diagnostics = append(res.Diagnostics, conflictDiagnostic(a.Set(), suite, u))
 	}
@@ -315,6 +362,8 @@ func runAnalysis(ctx context.Context, cfg Config, res *Result) error {
 			}
 		}
 	}
+	res.Timings.Report += time.Since(start)
+	sp.End()
 	return nil
 }
 

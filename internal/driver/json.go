@@ -84,6 +84,7 @@ type jsonTimings struct {
 	ConstrainMS float64 `json:"constrain_ms"`
 	SolveMS     float64 `json:"solve_ms"`
 	ClassifyMS  float64 `json:"classify_ms"`
+	ReportMS    float64 `json:"report_ms"`
 	EvalMS      float64 `json:"eval_ms"`
 	// AnalysisMS is Build+Constrain+Solve+Classify — the paper's
 	// Mono/Poly analysis-time column, precomputed so the experiment
@@ -162,6 +163,7 @@ func (r *Result) JSON() ([]byte, error) {
 		ConstrainMS: ms(t.Constrain),
 		SolveMS:     ms(t.Solve),
 		ClassifyMS:  ms(t.Classify),
+		ReportMS:    ms(t.Report),
 		EvalMS:      ms(t.Eval),
 		AnalysisMS:  ms(t.Analysis()),
 	}

@@ -1,12 +1,14 @@
 package driver
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/eval"
 	"repro/internal/infer"
 	"repro/internal/lambda"
+	"repro/internal/obs"
 	"repro/internal/qtype"
 )
 
@@ -69,11 +71,23 @@ func (r *LambdaResult) Errors() []Diagnostic {
 // RunLambda runs one program of the example language through the staged
 // pipeline.
 func RunLambda(cfg LambdaConfig, file, src string) *LambdaResult {
+	return RunLambdaContext(context.Background(), cfg, file, src)
+}
+
+// RunLambdaContext is RunLambda with a context: a tracer installed via
+// obs.WithTracer records one span per stage.
+func RunLambdaContext(ctx context.Context, cfg LambdaConfig, file, src string) *LambdaResult {
+	tr := obs.FromContext(ctx)
 	res := &LambdaResult{Config: cfg}
 
+	run := tr.Start("driver", "lambda.run", obs.String("file", file))
+	defer run.End()
+
+	sp := tr.Start("driver", "lambda.parse")
 	start := time.Now()
 	e, err := lambda.Parse(file, src)
 	res.Timings.Parse = time.Since(start)
+	sp.End()
 	if err != nil {
 		res.Diagnostics = append(res.Diagnostics, parseDiagnostic(file, err))
 		return res
@@ -84,26 +98,32 @@ func RunLambda(cfg LambdaConfig, file, src string) *LambdaResult {
 	checker.Monomorphic = cfg.Monomorphic
 	res.Checker = checker
 
+	sp = tr.Start("driver", "lambda.constrain")
 	start = time.Now()
 	qt, err := checker.Infer(nil, e)
 	res.Timings.Constrain = time.Since(start)
+	sp.End()
 	if err != nil {
 		res.Diagnostics = append(res.Diagnostics, typeErrorDiagnostic(err))
 		return res
 	}
 
+	sp = tr.Start("driver", "lambda.solve")
 	start = time.Now()
-	conflicts := checker.Sys.Solve()
+	conflicts := checker.Sys.SolveContext(ctx)
 	res.Timings.Solve = time.Since(start)
+	sp.End()
 	res.Type = qt
 	for _, u := range conflicts {
 		res.Diagnostics = append(res.Diagnostics, conflictDiagnostic(cfg.Spec.Set, nil, u))
 	}
 
 	if cfg.Eval && !res.HasErrors() {
+		sp = tr.Start("driver", "lambda.eval")
 		start = time.Now()
 		v, err := eval.Run(cfg.Spec.Set, eval.LitQual(cfg.Spec.Rules.LitQual), e, 0)
 		res.Timings.Eval = time.Since(start)
+		sp.End()
 		if err != nil {
 			res.Diagnostics = append(res.Diagnostics, evalDiagnostic(err))
 		} else {

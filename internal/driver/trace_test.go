@@ -1,0 +1,123 @@
+package driver
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"repro/internal/constinfer"
+	"repro/internal/obs"
+)
+
+// traceDemo has several functions across two components so the
+// constraint pool has real work and the merge loop emits one
+// constrain.func span per body.
+const traceDemo = `
+int id(int *p) { return *p; }
+int twice(int *p) { return id(p) + id(p); }
+int fact(int n) { if (n) return n * fact(n - 1); return 1; }
+void set(char *p) { *p = 0; }
+`
+
+// runTraced runs the pipeline under an injected fake clock and returns
+// the exported trace bytes.
+func runTraced(t *testing.T, jobs int) []byte {
+	t.Helper()
+	tracer := obs.NewTracer(obs.NewFakeClock(time.Unix(0, 0), time.Microsecond))
+	ctx := obs.WithTracer(context.Background(), tracer)
+	res, err := RunContext(ctx, Config{
+		Options: constinfer.Options{Poly: true},
+		Jobs:    jobs,
+	}, []Source{TextSource("demo.c", traceDemo)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HasErrors() {
+		t.Fatalf("unexpected errors: %v", res.Diagnostics)
+	}
+	var buf bytes.Buffer
+	if err := tracer.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestTraceGoldenAcrossJobs is the determinism acceptance check: spans
+// are recorded only from the sequential spine (stage boundaries, the
+// SCC-ordered merge loop, the solver's class loop), so with a monotonic
+// fake clock the exported trace is byte-identical for every pool size.
+func TestTraceGoldenAcrossJobs(t *testing.T) {
+	golden := runTraced(t, 1)
+	for _, jobs := range []int{2, 4, 8} {
+		if got := runTraced(t, jobs); !bytes.Equal(got, golden) {
+			t.Errorf("trace for jobs=%d differs from jobs=1:\n jobs=1: %s\n jobs=%d: %s",
+				jobs, golden, jobs, got)
+		}
+	}
+}
+
+// TestTraceCoversPipeline checks the span inventory: every driver stage,
+// at least one per-function constrain span, and at least one per-class
+// solver span.
+func TestTraceCoversPipeline(t *testing.T) {
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Cat  string         `json:"cat"`
+			Ph   string         `json:"ph"`
+			Dur  float64        `json:"dur"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(runTraced(t, 4), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	count := map[string]int{}
+	for _, e := range doc.TraceEvents {
+		if e.Ph != "X" {
+			t.Errorf("event %q has phase %q, want complete (X)", e.Name, e.Ph)
+		}
+		count[e.Name]++
+	}
+	for _, stage := range []string{
+		"driver.run", "driver.load", "driver.parse", "driver.build",
+		"driver.constrain", "driver.solve", "driver.classify", "driver.report",
+	} {
+		if count[stage] != 1 {
+			t.Errorf("stage span %q appears %d times, want 1", stage, count[stage])
+		}
+	}
+	if count["constrain.func"] != 4 {
+		t.Errorf("constrain.func spans = %d, want 4 (one per defined function)", count["constrain.func"])
+	}
+	if count["solve.class"] < 1 {
+		t.Errorf("no solve.class spans; the solver sweep is untraced")
+	}
+	for _, e := range doc.TraceEvents {
+		if e.Name == "constrain.func" {
+			if _, ok := e.Args["func"].(string); !ok {
+				t.Errorf("constrain.func span missing func attr: %v", e.Args)
+			}
+			if _, ok := e.Args["cache"].(string); !ok {
+				t.Errorf("constrain.func span missing cache attr: %v", e.Args)
+			}
+		}
+	}
+}
+
+// TestTimingsSumToTotal checks the Report-stage satellite: the per-stage
+// timings account for the whole run (Total is their sum, and every
+// stage a successful run passes through is recorded).
+func TestTimingsSumToTotal(t *testing.T) {
+	res, err := Run(Config{}, []Source{TextSource("demo.c", traceDemo)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := res.Timings
+	sum := tm.Load + tm.Parse + tm.Build + tm.Constrain + tm.Solve + tm.Classify + tm.Report + tm.Eval
+	if tm.Total() != sum {
+		t.Errorf("Total() = %v, want the stage sum %v", tm.Total(), sum)
+	}
+}

@@ -10,11 +10,24 @@
 //
 //	POST /v1/analyze  — analyze a batch of sources; the response body is
 //	                    byte-identical to cqual -json over the same
-//	                    inputs, X-Cache reports hit or miss
+//	                    inputs, X-Cache reports hit or miss, X-Trace-Id
+//	                    identifies the request; ?trace=1 additionally
+//	                    records a Chrome trace retrievable afterwards at
+//	                    /v1/traces/<id>
 //	GET  /healthz     — liveness probe
-//	GET  /metrics     — JSON counters: requests, cache stats, per-stage
-//	                    timing aggregates, per-analysis request and
-//	                    diagnostic counts
+//	GET  /metrics     — JSON counters by default: requests, cache stats,
+//	                    per-stage timing aggregates, per-analysis request
+//	                    and diagnostic counts. With Accept: text/plain or
+//	                    ?format=prometheus, Prometheus text exposition
+//	                    including latency histograms
+//	GET  /v1/traces/<id> — the Chrome trace-event JSON of a recent
+//	                    request that opted in with ?trace=1
+//	/debug/pprof/     — net/http/pprof profiling handlers, mounted only
+//	                    when Config.EnablePprof is set
+//
+// The metrics scrape path is lock-free: every counter the handler reads
+// is an atomic (or an obs.Registry series, which is atomics underneath),
+// so a scraper polling /metrics never contends with in-flight analyses.
 //
 // A concurrency limiter bounds simultaneous analyses so N clients share
 // the constraint-generation worker pool instead of oversubscribing it;
@@ -25,11 +38,14 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"strings"
 	"sync"
@@ -41,6 +57,7 @@ import (
 	"repro/internal/constinfer"
 	"repro/internal/constraint"
 	"repro/internal/driver"
+	"repro/internal/obs"
 )
 
 // Config sizes the server: worker pool, concurrency limit, deadlines,
@@ -62,11 +79,40 @@ type Config struct {
 	// (0 = 65536 entries / 256 MiB).
 	SummaryEntries int
 	SummaryBytes   int64
+	// EnablePprof mounts the net/http/pprof handlers under
+	// /debug/pprof/. Off by default: the endpoints expose goroutine
+	// stacks and heap contents, so they are opt-in.
+	EnablePprof bool
+	// SlowRequest is the latency threshold at or above which a completed
+	// analyze request is logged through Logger (0 = disabled).
+	SlowRequest time.Duration
+	// Logger receives slow-request records (nil = slog.Default()).
+	Logger *slog.Logger
+	// TraceEntries bounds the ring of retained ?trace=1 traces
+	// (0 = 32).
+	TraceEntries int
 }
 
 // DefaultRequestTimeout is the per-request deadline when none is
 // configured.
 const DefaultRequestTimeout = 30 * time.Second
+
+// stage indexes the per-stage aggregates. The order matches the driver
+// pipeline and the Prometheus "stage" label values.
+const (
+	stageLoad = iota
+	stageParse
+	stageBuild
+	stageConstrain
+	stageSolve
+	stageClassify
+	stageReport
+	numStages
+)
+
+var stageNames = [numStages]string{
+	"load", "parse", "build", "constrain", "solve", "classify", "report",
+}
 
 // Server is the analysis service. Create with New; it implements
 // http.Handler and is safe for concurrent use.
@@ -77,26 +123,35 @@ type Server struct {
 	sem       chan struct{}
 	mux       *http.ServeMux
 	start     time.Time
+	logger    *slog.Logger
 
-	requests atomic.Uint64 // analyze requests received
-	analyses atomic.Uint64 // analyses actually run (result-cache misses)
-	failures atomic.Uint64 // requests answered with a non-200 status
-	timeouts atomic.Uint64 // requests that hit their deadline
-	inFlight atomic.Int64  // analyze requests currently being served
+	// Every aggregate below is an atomic or an obs.Registry series
+	// (atomics underneath): the /metrics handler takes no lock.
+	requests *obs.Counter // analyze requests received
+	analyses *obs.Counter // analyses actually run (result-cache misses)
+	failures *obs.Counter // requests answered with a non-200 status
+	timeouts *obs.Counter // requests that hit their deadline
+	inFlight atomic.Int64 // analyze requests currently being served
 
-	tmu         sync.Mutex
-	stageTotal  driver.Timings // summed wall-clock per stage over analyses
-	stageRuns   uint64
-	solverTotal SolverTotals // summed solver condensation counters
+	stageRuns atomic.Uint64             // completed runs contributing to the stage sums
+	stageHist [numStages]*obs.Histogram // per-stage latency, seconds
+	reqHist   map[string]*obs.Histogram // end-to-end latency by cache hit/miss
+	solver    [6]*obs.Counter           // summed solver condensation counters
 
-	amu         sync.Mutex
+	// perAnalysis is keyed by registered analysis name and fully
+	// populated at New — the map is never written afterwards, so
+	// handlers read and bump it without a lock.
 	perAnalysis map[string]*analysisCounters
+
+	reg      *obs.Registry
+	traceSeq atomic.Uint64
+	traces   *traceRing
 }
 
 // analysisCounters tracks load per registered qualifier analysis.
 type analysisCounters struct {
-	requests    uint64 // analyze requests selecting the analysis
-	diagnostics uint64 // diagnostics the analysis produced (cache misses only)
+	requests    *obs.Counter // analyze requests selecting the analysis
+	diagnostics *obs.Counter // diagnostics the analysis produced (cache misses only)
 }
 
 // New builds a server with the given configuration.
@@ -119,6 +174,13 @@ func New(cfg Config) *Server {
 	if cfg.SummaryBytes == 0 {
 		cfg.SummaryBytes = 256 << 20
 	}
+	if cfg.TraceEntries == 0 {
+		cfg.TraceEntries = 32
+	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.Default()
+	}
 	s := &Server{
 		cfg:         cfg,
 		results:     cache.NewResultCache(cfg.ResultEntries, cfg.ResultBytes),
@@ -126,12 +188,82 @@ func New(cfg Config) *Server {
 		sem:         make(chan struct{}, cfg.MaxConcurrent),
 		mux:         http.NewServeMux(),
 		start:       time.Now(),
+		logger:      logger,
 		perAnalysis: make(map[string]*analysisCounters),
+		reg:         obs.NewRegistry(),
+		traces:      newTraceRing(cfg.TraceEntries),
 	}
+	s.registerMetrics()
 	s.mux.HandleFunc("/v1/analyze", s.handleAnalyze)
+	s.mux.HandleFunc("/v1/traces/", s.handleTrace)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	if cfg.EnablePprof {
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return s
+}
+
+// registerMetrics creates every Prometheus series. All labeled families
+// are fully enumerated here — per-analysis from the analysis registry,
+// per-stage from the pipeline — so the serving paths never allocate a
+// series and never take a registration lock.
+func (s *Server) registerMetrics() {
+	r := s.reg
+	s.requests = r.NewCounter("cquald_requests_total", "Analyze requests received.")
+	s.analyses = r.NewCounter("cquald_analyses_total", "Analyses actually run (result-cache misses).")
+	s.failures = r.NewCounter("cquald_failures_total", "Requests answered with a non-200 status.")
+	s.timeouts = r.NewCounter("cquald_timeouts_total", "Requests that hit their deadline.")
+	r.NewGaugeFunc("cquald_in_flight", "Analyze requests currently being served.",
+		func() float64 { return float64(s.inFlight.Load()) })
+	r.NewGaugeFunc("cquald_uptime_seconds", "Seconds since the server started.",
+		func() float64 { return time.Since(s.start).Seconds() })
+
+	for _, c := range []struct {
+		name  string
+		stats func() cache.Stats
+	}{
+		{"result", s.results.Stats},
+		{"summary", s.summaries.Stats},
+	} {
+		stats := c.stats
+		lbl := obs.L("cache", c.name)
+		r.NewGaugeFunc("cquald_cache_hits", "Cache hits.", func() float64 { return float64(stats().Hits) }, lbl)
+		r.NewGaugeFunc("cquald_cache_misses", "Cache misses.", func() float64 { return float64(stats().Misses) }, lbl)
+		r.NewGaugeFunc("cquald_cache_evictions", "Cache evictions.", func() float64 { return float64(stats().Evictions) }, lbl)
+		r.NewGaugeFunc("cquald_cache_entries", "Entries resident in the cache.", func() float64 { return float64(stats().Entries) }, lbl)
+		r.NewGaugeFunc("cquald_cache_bytes", "Bytes resident in the cache.", func() float64 { return float64(stats().Bytes) }, lbl)
+	}
+
+	s.reqHist = map[string]*obs.Histogram{
+		"hit": r.NewHistogram("cquald_request_seconds",
+			"End-to-end analyze latency, by result-cache outcome.", nil, obs.L("cache", "hit")),
+		"miss": r.NewHistogram("cquald_request_seconds",
+			"End-to-end analyze latency, by result-cache outcome.", nil, obs.L("cache", "miss")),
+	}
+	for i, name := range stageNames {
+		s.stageHist[i] = r.NewHistogram("cquald_stage_seconds",
+			"Per-stage pipeline latency over completed analyses.", nil, obs.L("stage", name))
+	}
+
+	solverNames := [6]string{"vars", "constraints", "components", "sccs_collapsed", "vars_collapsed", "edges_dropped"}
+	for i, name := range solverNames {
+		s.solver[i] = r.NewCounter("cquald_solver_"+name+"_total",
+			"Summed solver counter over completed analyses (see constraint.SolveStats).")
+	}
+
+	for _, name := range analysis.Names() {
+		s.perAnalysis[name] = &analysisCounters{
+			requests: r.NewCounter("cquald_analysis_requests_total",
+				"Analyze requests selecting the analysis.", obs.L("analysis", name)),
+			diagnostics: r.NewCounter("cquald_analysis_diagnostics_total",
+				"Diagnostics the analysis produced across completed runs.", obs.L("analysis", name)),
+		}
+	}
 }
 
 // ServeHTTP implements http.Handler.
@@ -175,21 +307,47 @@ type errorJSON struct {
 }
 
 func (s *Server) fail(w http.ResponseWriter, status int, format string, args ...any) {
-	s.failures.Add(1)
+	s.failures.Inc()
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	json.NewEncoder(w).Encode(errorJSON{Error: fmt.Sprintf(format, args...)})
 }
 
+// nextTraceID mints a request identifier: the server's start time pins
+// the process, a sequence number pins the request within it.
+func (s *Server) nextTraceID() string {
+	return fmt.Sprintf("%x-%d", uint64(s.start.UnixNano()), s.traceSeq.Add(1))
+}
+
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
-	s.requests.Add(1)
+	began := time.Now()
+	s.requests.Inc()
 	s.inFlight.Add(1)
 	defer s.inFlight.Add(-1)
+
+	traceID := s.nextTraceID()
+	w.Header().Set("X-Trace-Id", traceID)
 
 	if r.Method != http.MethodPost {
 		s.fail(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
+
+	// ?trace=1 opts this request into span recording; the exported
+	// Chrome trace is retained in a bounded ring, retrievable at
+	// /v1/traces/<id>. The response body stays byte-identical to an
+	// untraced request — only the header and the ring change.
+	var tracer *obs.Tracer
+	if r.URL.Query().Get("trace") == "1" {
+		tracer = obs.NewTracer(nil)
+		defer func() {
+			var buf bytes.Buffer
+			if tracer.WriteJSON(&buf) == nil {
+				s.traces.put(traceID, buf.Bytes())
+			}
+		}()
+	}
+
 	var req AnalyzeRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20))
 	dec.DisallowUnknownFields()
@@ -251,10 +409,14 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	key := cache.RequestKey(cfg, sources)
 	if report, ok := s.results.Get(key); ok {
 		s.writeReport(w, report, "hit")
+		s.finishRequest(r, traceID, "hit", len(sources), began)
 		return
 	}
 
 	ctx := r.Context()
+	if tracer != nil {
+		ctx = obs.WithTracer(ctx, tracer)
+	}
 	if s.cfg.RequestTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
@@ -286,15 +448,32 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusInternalServerError, "encoding report: %v", err)
 		return
 	}
-	s.analyses.Add(1)
+	s.analyses.Inc()
 	s.countDiagnostics(res.Diagnostics)
 	s.recordTimings(res.Timings, res.Solver)
 	s.results.Put(key, report)
 	s.writeReport(w, report, "miss")
+	s.finishRequest(r, traceID, "miss", len(sources), began)
+}
+
+// finishRequest observes the end-to-end latency histogram and emits the
+// slow-request log line when the configured threshold is met.
+func (s *Server) finishRequest(r *http.Request, traceID, cacheState string, sources int, began time.Time) {
+	dur := time.Since(began)
+	s.reqHist[cacheState].Observe(dur.Seconds())
+	if s.cfg.SlowRequest > 0 && dur >= s.cfg.SlowRequest {
+		s.logger.Warn("slow analyze request",
+			"trace_id", traceID,
+			"duration_ms", float64(dur.Microseconds())/1000,
+			"threshold_ms", float64(s.cfg.SlowRequest.Microseconds())/1000,
+			"cache", cacheState,
+			"sources", sources,
+			"remote", r.RemoteAddr)
+	}
 }
 
 func (s *Server) deadline(w http.ResponseWriter, err error) {
-	s.timeouts.Add(1)
+	s.timeouts.Inc()
 	s.fail(w, http.StatusGatewayTimeout, "analysis aborted: %v", err)
 }
 
@@ -305,41 +484,26 @@ func (s *Server) writeReport(w http.ResponseWriter, report []byte, cacheState st
 }
 
 func (s *Server) recordTimings(t driver.Timings, st constraint.SolveStats) {
-	s.tmu.Lock()
-	defer s.tmu.Unlock()
-	s.stageTotal.Load += t.Load
-	s.stageTotal.Parse += t.Parse
-	s.stageTotal.Build += t.Build
-	s.stageTotal.Constrain += t.Constrain
-	s.stageTotal.Solve += t.Solve
-	s.stageTotal.Classify += t.Classify
-	s.stageTotal.Eval += t.Eval
-	s.stageRuns++
-	s.solverTotal.Vars += uint64(st.Vars)
-	s.solverTotal.Constraints += uint64(st.Constraints)
-	s.solverTotal.Components += uint64(st.Components)
-	s.solverTotal.SCCsCollapsed += uint64(st.SCCsCollapsed)
-	s.solverTotal.VarsCollapsed += uint64(st.VarsCollapsed)
-	s.solverTotal.EdgesDropped += uint64(st.EdgesDropped)
-}
-
-// counters returns the counter cell for an analysis, creating it on
-// first use. Callers must hold amu.
-func (s *Server) counters(name string) *analysisCounters {
-	c := s.perAnalysis[name]
-	if c == nil {
-		c = &analysisCounters{}
-		s.perAnalysis[name] = c
+	for i, d := range [numStages]time.Duration{
+		t.Load, t.Parse, t.Build, t.Constrain, t.Solve, t.Classify, t.Report,
+	} {
+		s.stageHist[i].Observe(d.Seconds())
 	}
-	return c
+	s.stageRuns.Add(1)
+	for i, v := range [6]int{
+		st.Vars, st.Constraints, st.Components, st.SCCsCollapsed, st.VarsCollapsed, st.EdgesDropped,
+	} {
+		s.solver[i].Add(uint64(v))
+	}
 }
 
 // countRequests credits one analyze request to each selected analysis.
+// The counter map is immutable after New, so no lock is needed.
 func (s *Server) countRequests(names []string) {
-	s.amu.Lock()
-	defer s.amu.Unlock()
 	for _, name := range names {
-		s.counters(name).requests++
+		if c := s.perAnalysis[name]; c != nil {
+			c.requests.Inc()
+		}
 	}
 }
 
@@ -347,11 +511,9 @@ func (s *Server) countRequests(names []string) {
 // run. Cache hits re-serve stored bytes without re-counting: the
 // counters measure analysis work, not traffic.
 func (s *Server) countDiagnostics(diags []driver.Diagnostic) {
-	s.amu.Lock()
-	defer s.amu.Unlock()
 	for _, d := range diags {
-		if d.Analysis != "" {
-			s.counters(d.Analysis).diagnostics++
+		if c := s.perAnalysis[d.Analysis]; c != nil {
+			c.diagnostics.Inc()
 		}
 	}
 }
@@ -359,6 +521,18 @@ func (s *Server) countDiagnostics(diags []driver.Diagnostic) {
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintln(w, "ok")
+}
+
+// handleTrace serves a retained ?trace=1 trace by id.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := strings.TrimPrefix(r.URL.Path, "/v1/traces/")
+	data, ok := s.traces.get(id)
+	if !ok {
+		s.fail(w, http.StatusNotFound, "no retained trace %q (traces are recorded for ?trace=1 requests and bounded to the most recent %d)", id, s.cfg.TraceEntries)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data)
 }
 
 // Metrics is the GET /metrics response shape.
@@ -398,6 +572,7 @@ type StageTotals struct {
 	ConstrainMS float64 `json:"constrain_ms"`
 	SolveMS     float64 `json:"solve_ms"`
 	ClassifyMS  float64 `json:"classify_ms"`
+	ReportMS    float64 `json:"report_ms"`
 	AnalysisMS  float64 `json:"analysis_ms"`
 }
 
@@ -413,45 +588,102 @@ type SolverTotals struct {
 	EdgesDropped  uint64 `json:"edges_dropped"`
 }
 
-// Snapshot returns the current metrics.
+// Snapshot returns the current metrics. Every read is an atomic load;
+// a snapshot taken during a storm of analyses costs the analyses
+// nothing.
 func (s *Server) Snapshot() Metrics {
-	s.tmu.Lock()
-	t, runs, solver := s.stageTotal, s.stageRuns, s.solverTotal
-	s.tmu.Unlock()
-	s.amu.Lock()
 	per := make(map[string]AnalysisMetrics, len(s.perAnalysis))
 	for name, c := range s.perAnalysis {
-		per[name] = AnalysisMetrics{Requests: c.requests, Diagnostics: c.diagnostics}
+		req, diag := c.requests.Value(), c.diagnostics.Value()
+		if req == 0 && diag == 0 {
+			// The JSON shape predates series pre-registration: analyses
+			// never requested stay absent, as they always have.
+			continue
+		}
+		per[name] = AnalysisMetrics{Requests: req, Diagnostics: diag}
 	}
-	s.amu.Unlock()
-	ms := func(d time.Duration) float64 { return d.Seconds() * 1000 }
+	stageMS := func(i int) float64 { return s.stageHist[i].Sum() * 1000 }
 	return Metrics{
-		UptimeMS:     ms(time.Since(s.start)),
-		Requests:     s.requests.Load(),
-		Analyses:     s.analyses.Load(),
-		Failures:     s.failures.Load(),
-		Timeouts:     s.timeouts.Load(),
+		UptimeMS:     time.Since(s.start).Seconds() * 1000,
+		Requests:     s.requests.Value(),
+		Analyses:     s.analyses.Value(),
+		Failures:     s.failures.Value(),
+		Timeouts:     s.timeouts.Value(),
 		InFlight:     s.inFlight.Load(),
 		ResultCache:  s.results.Stats(),
 		SummaryCache: s.summaries.Stats(),
 		PerAnalysis:  per,
-		Solver:       solver,
+		Solver: SolverTotals{
+			Vars:          s.solver[0].Value(),
+			Constraints:   s.solver[1].Value(),
+			Components:    s.solver[2].Value(),
+			SCCsCollapsed: s.solver[3].Value(),
+			VarsCollapsed: s.solver[4].Value(),
+			EdgesDropped:  s.solver[5].Value(),
+		},
 		Stages: StageTotals{
-			Runs:        runs,
-			LoadMS:      ms(t.Load),
-			ParseMS:     ms(t.Parse),
-			BuildMS:     ms(t.Build),
-			ConstrainMS: ms(t.Constrain),
-			SolveMS:     ms(t.Solve),
-			ClassifyMS:  ms(t.Classify),
-			AnalysisMS:  ms(t.Analysis()),
+			Runs:        s.stageRuns.Load(),
+			LoadMS:      stageMS(stageLoad),
+			ParseMS:     stageMS(stageParse),
+			BuildMS:     stageMS(stageBuild),
+			ConstrainMS: stageMS(stageConstrain),
+			SolveMS:     stageMS(stageSolve),
+			ClassifyMS:  stageMS(stageClassify),
+			ReportMS:    stageMS(stageReport),
+			AnalysisMS:  stageMS(stageBuild) + stageMS(stageConstrain) + stageMS(stageSolve) + stageMS(stageClassify),
 		},
 	}
 }
 
+// handleMetrics renders the counters. The default JSON shape is the
+// service's original contract and is unchanged; Prometheus text
+// exposition (with the latency histograms, which JSON does not carry)
+// is selected by Accept: text/plain or ?format=prometheus.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	format := r.URL.Query().Get("format")
+	if format == "prometheus" ||
+		(format == "" && strings.Contains(r.Header.Get("Accept"), "text/plain")) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.reg.WritePrometheus(w)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	enc.Encode(s.Snapshot())
+}
+
+// traceRing retains the most recent ?trace=1 exports. Only traced
+// requests touch it, so its mutex never contends with the scrape path.
+type traceRing struct {
+	mu      sync.Mutex
+	entries []traceEntry
+	next    int
+}
+
+type traceEntry struct {
+	id   string
+	data []byte
+}
+
+func newTraceRing(n int) *traceRing {
+	return &traceRing{entries: make([]traceEntry, n)}
+}
+
+func (tr *traceRing) put(id string, data []byte) {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	tr.entries[tr.next] = traceEntry{id: id, data: data}
+	tr.next = (tr.next + 1) % len(tr.entries)
+}
+
+func (tr *traceRing) get(id string) ([]byte, bool) {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	for _, e := range tr.entries {
+		if e.id == id {
+			return e.data, true
+		}
+	}
+	return nil, false
 }
