@@ -404,6 +404,18 @@ func printSolverStats(res *driver.Result) {
 		st.Vars, st.Constraints, st.MaskClasses)
 	fmt.Fprintf(os.Stderr, "  condensation: %d components, %d cycles collapsed (%d vars merged), %d edges dropped\n",
 		st.Components, st.SCCsCollapsed, st.VarsCollapsed, st.EdgesDropped)
+	// Delta counters appear only when the run went through a retained
+	// session (driver.Session / cquald sessions); plain cqual runs solve
+	// cold and print nothing here.
+	if d := res.Delta; d != nil {
+		if d.Applied {
+			fmt.Fprintf(os.Stderr, "  delta:        hit — %d fragment(s) reused (+%d −%d), %d SCC(s) re-solved, %d var(s) dirty\n",
+				d.FragsReused, d.FragsAdded, d.FragsRemoved, d.ResolvedSCCs, d.DirtyVars)
+		} else {
+			fmt.Fprintf(os.Stderr, "  delta:        cold solve (%s)\n", d.Fallback)
+		}
+		fmt.Fprintf(os.Stderr, "  session:      %d hit(s), %d fallback(s)\n", st.DeltaHits, st.DeltaFallbacks)
+	}
 	fmt.Fprintf(os.Stderr, "  solve time:   %v (analysis %v)\n", res.Timings.Solve, res.Timings.Analysis())
 }
 

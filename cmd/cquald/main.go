@@ -9,7 +9,11 @@
 //	       [-timeout d] [-shutdown-timeout d]
 //	       [-result-cache-entries n] [-result-cache-bytes n]
 //	       [-summary-cache-entries n] [-summary-cache-bytes n]
+//	       [-session-entries n]
 //	       [-pprof] [-slow-request d] [-trace-entries n]
+//	cquald -watch DIR [-watch-interval d] [-jobs n]
+//	       [-poly] [-polyrec] [-simplify] [-uninit]
+//	       [-analysis LIST] [-prelude FILES]
 //
 // POST a batch of sources to /v1/analyze and receive the same JSON
 // report `cqual -json` prints; repeated requests for unchanged sources
@@ -23,6 +27,21 @@
 // handlers under /debug/pprof/; -slow-request logs requests slower than
 // the threshold. SIGINT/SIGTERM drain in-flight requests before
 // exiting.
+//
+// Requests carrying a "session" id share a retained constraint-graph
+// session (bounded by -session-entries): successive versions of the
+// same corpus re-solve only the region downstream of changed constraint
+// fragments, visible in the report's solver.delta block and the
+// /metrics delta counters.
+//
+// With -watch DIR the daemon serves no HTTP at all: it polls DIR for .c
+// files (stdlib mtime/size polling, -watch-interval apart) and re-runs
+// the analysis through one retained session whenever a file appears,
+// changes, or disappears, printing conflict diagnostics with their flow
+// paths plus a per-run delta summary to stdout. The mode flags
+// (-poly, -polyrec, -simplify, -uninit, -analysis, -prelude) mirror
+// cqual and apply only to -watch, which fixes the configuration for the
+// session's lifetime.
 package main
 
 import (
@@ -51,9 +70,18 @@ func main() {
 	resultBytes := flag.Int64("result-cache-bytes", 256<<20, "result cache: max stored report bytes (0 = unbounded)")
 	summaryEntries := flag.Int("summary-cache-entries", 65536, "per-function summary cache: max entries (0 = unbounded)")
 	summaryBytes := flag.Int64("summary-cache-bytes", 256<<20, "per-function summary cache: max approximate bytes (0 = unbounded)")
+	sessionEntries := flag.Int("session-entries", 0, "retained delta re-solve sessions (0 = 64)")
 	enablePprof := flag.Bool("pprof", false, "mount the net/http/pprof profiling handlers under /debug/pprof/")
 	slowRequest := flag.Duration("slow-request", 0, "log analyze requests at or above this latency (0 = disabled)")
 	traceEntries := flag.Int("trace-entries", 0, "retained ?trace=1 traces (0 = 32)")
+	watch := flag.String("watch", "", "watch this directory of .c files instead of serving HTTP; re-analyze on change through a retained session")
+	watchInterval := flag.Duration("watch-interval", 500*time.Millisecond, "poll interval for -watch")
+	poly := flag.Bool("poly", false, "with -watch: polymorphic qualifier inference")
+	polyrec := flag.Bool("polyrec", false, "with -watch: polymorphic recursion (implies -poly)")
+	simplify := flag.Bool("simplify", false, "with -watch: simplify schemes")
+	uninit := flag.Bool("uninit", false, "with -watch: also run the definite-initialization check")
+	analysisFlag := flag.String("analysis", "", "with -watch: comma-separated qualifier analyses (default const)")
+	preludeFlag := flag.String("prelude", "", "with -watch: comma-separated prelude files")
 	flag.Parse()
 
 	if *jobs < 0 {
@@ -65,6 +93,26 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *watch != "" {
+		os.Exit(runWatchMode(*watch, *watchInterval, watchOptions{
+			poly: *poly, polyrec: *polyrec, simplify: *simplify,
+			uninit: *uninit, jobs: *jobs,
+			analyses: *analysisFlag, preludes: *preludeFlag,
+		}))
+	}
+	for _, f := range []struct {
+		set  bool
+		name string
+	}{
+		{*poly, "-poly"}, {*polyrec, "-polyrec"}, {*simplify, "-simplify"},
+		{*uninit, "-uninit"}, {*analysisFlag != "", "-analysis"}, {*preludeFlag != "", "-prelude"},
+	} {
+		if f.set {
+			fmt.Fprintf(os.Stderr, "cquald: %s only applies to -watch; HTTP requests carry their own mode flags\n", f.name)
+			os.Exit(2)
+		}
+	}
+
 	srv := server.New(server.Config{
 		Jobs:           *jobs,
 		MaxConcurrent:  *maxConcurrent,
@@ -73,6 +121,7 @@ func main() {
 		ResultBytes:    *resultBytes,
 		SummaryEntries: *summaryEntries,
 		SummaryBytes:   *summaryBytes,
+		SessionEntries: *sessionEntries,
 		EnablePprof:    *enablePprof,
 		SlowRequest:    *slowRequest,
 		TraceEntries:   *traceEntries,

@@ -1,0 +1,240 @@
+package main
+
+// -watch mode: the delta re-solve engine's local front door. Instead of
+// serving HTTP, the daemon polls a directory of C sources (stdlib only —
+// os.ReadDir plus mtime/size stamps, no platform notification APIs) and
+// re-analyzes through one retained driver.Session whenever a file
+// appears, changes, or disappears. Each run prints the conflict
+// diagnostics with their step-by-step flow paths and a one-line delta
+// summary: what the retained session reused and how much of the
+// constraint graph the edit actually dirtied.
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/constinfer"
+	"repro/internal/driver"
+)
+
+// watchOptions carries the cqual-style mode flags into watch mode.
+type watchOptions struct {
+	poly, polyrec, simplify, uninit bool
+	jobs                            int
+	analyses                        string // comma-separated
+	preludes                        string // comma-separated file paths
+}
+
+// runWatchMode validates the flags, builds the fixed session config, and
+// runs the poll loop until SIGINT/SIGTERM. Returns the process exit
+// status.
+func runWatchMode(dir string, interval time.Duration, opts watchOptions) int {
+	if info, err := os.Stat(dir); err != nil || !info.IsDir() {
+		fmt.Fprintf(os.Stderr, "cquald: -watch %s: not a directory\n", dir)
+		return 2
+	}
+	if interval <= 0 {
+		fmt.Fprintln(os.Stderr, "cquald: -watch-interval must be positive")
+		return 2
+	}
+	var analyses []string
+	for _, part := range strings.Split(opts.analyses, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			analyses = append(analyses, part)
+		}
+	}
+	for _, name := range analyses {
+		if _, ok := analysis.Lookup(name); !ok {
+			fmt.Fprintf(os.Stderr, "cquald: unknown analysis %q (registered: %s)\n",
+				name, strings.Join(analysis.Names(), ", "))
+			return 2
+		}
+	}
+	var preludes []driver.PreludeFile
+	for _, path := range strings.Split(opts.preludes, ",") {
+		if path = strings.TrimSpace(path); path == "" {
+			continue
+		}
+		text, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cquald:", err)
+			return 2
+		}
+		preludes = append(preludes, driver.PreludeFile{Path: path, Text: string(text)})
+	}
+	cfg := driver.Config{
+		Options: constinfer.Options{
+			Poly:     opts.poly || opts.polyrec,
+			PolyRec:  opts.polyrec,
+			Simplify: opts.simplify,
+		},
+		Jobs:     opts.jobs,
+		Uninit:   opts.uninit,
+		Analyses: analyses,
+		Preludes: preludes,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	fmt.Printf("cquald: watching %s every %v (mode %s)\n", dir, interval, cfg.Mode())
+	w := newWatcher(dir, cfg, os.Stdout)
+	if err := w.run(ctx, interval); err != nil {
+		fmt.Fprintln(os.Stderr, "cquald: watch:", err)
+		return 1
+	}
+	return 0
+}
+
+// fileStamp is the change detector for one source file. Content is not
+// hashed here: a stale mtime+size pair only costs one redundant
+// analysis, which the session then mostly reuses anyway.
+type fileStamp struct {
+	mod  time.Time
+	size int64
+}
+
+// watcher polls one directory and feeds changed source sets through a
+// retained analysis session.
+type watcher struct {
+	dir  string
+	sess *driver.Session
+	out  io.Writer
+	seen map[string]fileStamp
+	runs int
+}
+
+func newWatcher(dir string, cfg driver.Config, out io.Writer) *watcher {
+	return &watcher{
+		dir:  dir,
+		sess: driver.NewSession(cfg),
+		out:  out,
+		seen: make(map[string]fileStamp),
+	}
+}
+
+// scan stamps every .c file directly in the watched directory
+// (non-recursive; a qualifier analysis corpus is one directory of
+// translation units) and reports whether the set differs from the last
+// scan.
+func (w *watcher) scan() (paths []string, changed bool, err error) {
+	entries, err := os.ReadDir(w.dir)
+	if err != nil {
+		return nil, false, err
+	}
+	now := make(map[string]fileStamp)
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".c") {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue // deleted between ReadDir and Stat; next poll settles it
+		}
+		path := filepath.Join(w.dir, e.Name())
+		now[path] = fileStamp{mod: info.ModTime(), size: info.Size()}
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	if len(now) != len(w.seen) {
+		changed = true
+	} else {
+		for p, st := range now {
+			if w.seen[p] != st {
+				changed = true
+				break
+			}
+		}
+	}
+	w.seen = now
+	return paths, changed, nil
+}
+
+// poll runs one scan-and-maybe-analyze step; it reports whether an
+// analysis ran.
+func (w *watcher) poll(ctx context.Context) (bool, error) {
+	paths, changed, err := w.scan()
+	if err != nil {
+		return false, err
+	}
+	if !changed {
+		return false, nil
+	}
+	w.runs++
+	if len(paths) == 0 {
+		fmt.Fprintf(w.out, "watch: no .c files in %s\n", w.dir)
+		return false, nil
+	}
+	res, err := w.sess.RunDelta(ctx, driver.FileSources(paths...))
+	if err != nil {
+		return false, err
+	}
+	w.report(res, paths)
+	return true, nil
+}
+
+// report prints one analysis outcome: front-end errors or the conflict
+// diagnostics with their flow paths, then the delta summary line.
+func (w *watcher) report(res *driver.Result, paths []string) {
+	fmt.Fprintf(w.out, "watch: run %d: %d file(s)\n", w.runs, len(paths))
+	if res.Report == nil {
+		for _, d := range res.Errors() {
+			fmt.Fprintln(w.out, "  "+strings.ReplaceAll(d.String(), "\n", "\n  "))
+		}
+		fmt.Fprintln(w.out, "  (front-end failure; session state retained)")
+		return
+	}
+	conflicts := 0
+	for _, d := range res.Diagnostics {
+		if d.Code == "qualifier-conflict" {
+			conflicts++
+			fmt.Fprintln(w.out, "  "+strings.ReplaceAll(d.String(), "\n", "\n  "))
+		}
+	}
+	fmt.Fprintf(w.out, "  %d function(s), %d constraint(s), %d conflict(s)\n",
+		res.Report.Functions, res.Report.Constraints, conflicts)
+	fmt.Fprintf(w.out, "  %s (solve %v)\n", deltaLine(res), res.Timings.Solve.Round(time.Microsecond))
+}
+
+// deltaLine renders what the retained session did for one run.
+func deltaLine(res *driver.Result) string {
+	d := res.Delta
+	switch {
+	case d == nil:
+		return "delta: none"
+	case d.Applied:
+		return fmt.Sprintf("delta: hit — %d/%d fragment(s) reused (+%d −%d), %d SCC(s) re-solved, %d var(s) dirty",
+			d.FragsReused, d.FragsReused+d.FragsAdded, d.FragsAdded, d.FragsRemoved,
+			d.ResolvedSCCs, d.DirtyVars)
+	default:
+		return fmt.Sprintf("delta: cold solve (%s)", d.Fallback)
+	}
+}
+
+// run is the watch loop: poll at the interval until the context ends.
+func (w *watcher) run(ctx context.Context, interval time.Duration) error {
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		if _, err := w.poll(ctx); err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
+			return err
+		}
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-tick.C:
+		}
+	}
+}

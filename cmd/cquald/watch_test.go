@@ -1,0 +1,135 @@
+package main
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/driver"
+)
+
+const watchV1 = `
+int strlen(const char *s);
+void sink(char *p) { *p = 0; }
+int probe(const char *s) { return strlen(s); }
+void use(char *buf) { sink(buf); probe(buf); }
+`
+
+const watchV2 = `
+int strlen(const char *s);
+void sink(char *p) { *p = 0; }
+int probe(const char *s) { return strlen(s); }
+void use(char *buf) { sink(buf); probe(buf); probe(buf); }
+`
+
+// writeStamped writes a source file with a forced distinct mtime so the
+// poll-based change detector sees every edit regardless of filesystem
+// timestamp granularity.
+func writeStamped(t *testing.T, path, text string, seq int) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stamp := time.Date(2020, 1, 1, 0, 0, seq, 0, time.UTC)
+	if err := os.Chtimes(path, stamp, stamp); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWatcherDeltaCycle(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "prog.c")
+	writeStamped(t, path, watchV1, 1)
+
+	var out strings.Builder
+	w := newWatcher(dir, driver.Config{Jobs: 1}, &out)
+	ctx := context.Background()
+
+	ran, err := w.poll(ctx)
+	if err != nil || !ran {
+		t.Fatalf("first poll: ran=%v err=%v", ran, err)
+	}
+	if !strings.Contains(out.String(), "delta: cold solve (first-solve)") {
+		t.Fatalf("first run should cold-solve:\n%s", out.String())
+	}
+
+	// No change: no analysis.
+	out.Reset()
+	if ran, err := w.poll(ctx); err != nil || ran {
+		t.Fatalf("unchanged poll: ran=%v err=%v output=%q", ran, err, out.String())
+	}
+
+	// Trailing-function edit: the session takes the delta path.
+	writeStamped(t, path, watchV2, 2)
+	out.Reset()
+	if ran, err := w.poll(ctx); err != nil || !ran {
+		t.Fatalf("edit poll: ran=%v err=%v", ran, err)
+	}
+	if !strings.Contains(out.String(), "delta: hit") {
+		t.Fatalf("edit should be a delta hit:\n%s", out.String())
+	}
+
+	// A new file changes the set and re-analyzes.
+	writeStamped(t, filepath.Join(dir, "extra.c"), "int twice(int x) { return x + x; }\n", 3)
+	out.Reset()
+	if ran, err := w.poll(ctx); err != nil || !ran {
+		t.Fatalf("new-file poll: ran=%v err=%v", ran, err)
+	}
+	if !strings.Contains(out.String(), "2 file(s)") {
+		t.Fatalf("new file not picked up:\n%s", out.String())
+	}
+}
+
+// TestWatcherConflictFlow pins that conflicts are printed with their
+// step-by-step flow path, the -watch mode's whole point as a front door.
+func TestWatcherConflictFlow(t *testing.T) {
+	dir := t.TempDir()
+	writeStamped(t, filepath.Join(dir, "bad.c"),
+		"void f(const char *s) { *s = 0; }\n", 1)
+
+	var out strings.Builder
+	w := newWatcher(dir, driver.Config{Jobs: 1}, &out)
+	if ran, err := w.poll(context.Background()); err != nil || !ran {
+		t.Fatalf("poll: ran=%v err=%v", ran, err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "1 conflict(s)") || !strings.Contains(got, "flow:") {
+		t.Fatalf("conflict flow trace missing:\n%s", got)
+	}
+}
+
+// TestWatcherFrontEndError pins that a broken edit reports errors but
+// keeps the session: the fixed version still delta-solves.
+func TestWatcherFrontEndError(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "prog.c")
+	writeStamped(t, path, watchV1, 1)
+
+	var out strings.Builder
+	w := newWatcher(dir, driver.Config{Jobs: 1}, &out)
+	ctx := context.Background()
+	if _, err := w.poll(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	writeStamped(t, path, "void broken( {", 2)
+	out.Reset()
+	if ran, err := w.poll(ctx); err != nil || !ran {
+		t.Fatalf("broken poll: ran=%v err=%v", ran, err)
+	}
+	if !strings.Contains(out.String(), "front-end failure") {
+		t.Fatalf("parse failure not reported:\n%s", out.String())
+	}
+
+	writeStamped(t, path, watchV2, 3)
+	out.Reset()
+	if _, err := w.poll(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "delta: hit") {
+		t.Fatalf("session lost across front-end error:\n%s", out.String())
+	}
+}

@@ -5,12 +5,18 @@
 //
 // Usage:
 //
-//	paperbench [-table1] [-table2] [-figure6] [-simplify] [-polyrec] [-out FILE]
+//	paperbench [-table1] [-table2] [-figure6] [-simplify] [-polyrec]
+//	           [-delta-vars n] [-delta-rounds n] [-out FILE]
 //
 // With no selection flags, everything is printed. -out additionally
 // writes the per-benchmark measurements as machine-readable JSON (the
 // repository tracks them as BENCH_N.json files, one per perf-relevant
 // change, so the trajectory accumulates).
+//
+// The report also carries a warm-session column: a retained
+// constraint.Session re-solving the -delta-vars cycle-graph workload
+// after a one-fragment edit, against a cold solve of the same system
+// (see experiment.MeasureDelta). -delta-vars 0 disables it.
 package main
 
 import (
@@ -37,12 +43,26 @@ type benchJSON struct {
 	Total         int     `json:"total_positions"`
 }
 
+// deltaJSON is the warm-session re-solve block of the -out schema: the
+// delta engine's headline numbers on the synthetic solver workload.
+type deltaJSON struct {
+	Vars          int     `json:"vars"`
+	Constraints   int     `json:"constraints"`
+	Frags         int     `json:"frags"`
+	ColdSolveMS   float64 `json:"cold_solve_ms"`
+	WarmResolveMS float64 `json:"warm_resolve_ms"`
+	WarmOverCold  float64 `json:"warm_over_cold"`
+	Hits          int     `json:"delta_hits"`
+	Fallbacks     int     `json:"delta_fallbacks"`
+}
+
 type benchFile struct {
 	Options struct {
 		Simplify bool `json:"simplify"`
 		PolyRec  bool `json:"polyrec"`
 	} `json:"options"`
 	Benchmarks []benchJSON `json:"benchmarks"`
+	Delta      *deltaJSON  `json:"delta,omitempty"`
 }
 
 func main() {
@@ -51,6 +71,8 @@ func main() {
 	figure6 := flag.Bool("figure6", false, "print Figure 6 only")
 	simplify := flag.Bool("simplify", true, "scheme simplification in the polymorphic pass (the Section 6 optimization; disable with -simplify=false)")
 	polyrec := flag.Bool("polyrec", false, "enable polymorphic recursion in the polymorphic pass")
+	deltaVars := flag.Int("delta-vars", 20000, "warm-session re-solve workload size in variables (0 = skip)")
+	deltaRounds := flag.Int("delta-rounds", 9, "warm-session re-solve measurement rounds (median reported)")
 	out := flag.String("out", "", "also write the measurements as JSON to this file (e.g. BENCH_5.json)")
 	flag.Parse()
 
@@ -72,18 +94,37 @@ func main() {
 		fmt.Println(experiment.Figure6(results))
 	}
 
+	var delta *deltaJSON
+	if *deltaVars > 0 {
+		d := experiment.MeasureDelta(*deltaVars, *deltaRounds)
+		delta = &deltaJSON{
+			Vars:          d.Vars,
+			Constraints:   d.Constraints,
+			Frags:         d.Frags,
+			ColdSolveMS:   d.ColdSolve.Seconds() * 1000,
+			WarmResolveMS: d.WarmResolve.Seconds() * 1000,
+			WarmOverCold:  d.WarmOverCold(),
+			Hits:          d.Hits,
+			Fallbacks:     d.Fallbacks,
+		}
+		fmt.Printf("Delta re-solve (n=%d, %d frags): cold %.3fms, warm %.3fms (%.1f%% of cold), %d hit(s), %d fallback(s)\n",
+			d.Vars, d.Frags, delta.ColdSolveMS, delta.WarmResolveMS,
+			delta.WarmOverCold*100, d.Hits, d.Fallbacks)
+	}
+
 	if *out != "" {
-		if err := writeJSON(*out, opts, results); err != nil {
+		if err := writeJSON(*out, opts, results, delta); err != nil {
 			fmt.Fprintln(os.Stderr, "paperbench:", err)
 			os.Exit(1)
 		}
 	}
 }
 
-func writeJSON(path string, opts constinfer.Options, results []*experiment.Result) error {
+func writeJSON(path string, opts constinfer.Options, results []*experiment.Result, delta *deltaJSON) error {
 	var f benchFile
 	f.Options.Simplify = opts.Simplify
 	f.Options.PolyRec = opts.PolyRec
+	f.Delta = delta
 	for _, r := range results {
 		f.Benchmarks = append(f.Benchmarks, benchJSON{
 			Name:          r.Config.Name,

@@ -1,0 +1,117 @@
+package constinfer
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/cfront"
+	"repro/internal/constraint"
+)
+
+// analyzeThroughSession runs the full pipeline on src with the solve
+// stage routed through ss, returning the report.
+func analyzeThroughSession(t *testing.T, ss *constraint.Session, src string, opts Options) *Report {
+	t.Helper()
+	f, err := cfront.Parse("t.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewAnalysis([]*cfront.File{f}, opts)
+	a.Prepare()
+	a.Constrain(1)
+	return a.Classify(a.SolveSession(context.Background(), ss))
+}
+
+const spansProgV1 = `
+int strlen(const char *s);
+void sink(char *p) { *p = 0; }
+int probe(const char *s) { return strlen(s); }
+void use(char *buf) { sink(buf); probe(buf); }
+`
+
+// v2 edits only the last function; every earlier fragment's constraints
+// (and variable numbering) are untouched, so the session reuses them.
+const spansProgV2 = `
+int strlen(const char *s);
+void sink(char *p) { *p = 0; }
+int probe(const char *s) { return strlen(s); }
+void use(char *buf) { sink(buf); probe(buf); probe(buf); }
+`
+
+func testSessionMatchesCold(t *testing.T, opts Options) {
+	ss := constraint.NewSession(NewAnalysis(nil, opts).Set())
+	for round, src := range []string{spansProgV1, spansProgV2, spansProgV1} {
+		got := analyzeThroughSession(t, ss, src, opts)
+		want, err := AnalyzeSource("t.c", src, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Positions) != len(want.Positions) {
+			t.Fatalf("round %d: %d positions, want %d", round, len(got.Positions), len(want.Positions))
+		}
+		for i := range got.Positions {
+			g, w := got.Positions[i], want.Positions[i]
+			if g.Verdict != w.Verdict || g.Func != w.Func || g.Param != w.Param || g.Depth != w.Depth {
+				t.Fatalf("round %d position %d: got %+v want %+v", round, i, g, w)
+			}
+		}
+		if len(got.Conflicts) != len(want.Conflicts) {
+			t.Fatalf("round %d: %d conflicts, want %d", round, len(got.Conflicts), len(want.Conflicts))
+		}
+	}
+	if d := ss.Delta(); !d.Applied && d.Fallback == "" {
+		t.Fatalf("session never engaged: %+v", d)
+	}
+}
+
+func TestSessionSolveMatchesColdMono(t *testing.T) {
+	testSessionMatchesCold(t, Options{})
+}
+
+func TestSessionSolveMatchesColdPoly(t *testing.T) {
+	testSessionMatchesCold(t, Options{Poly: true})
+}
+
+func TestSessionSolveMatchesColdPolySimplify(t *testing.T) {
+	testSessionMatchesCold(t, Options{Poly: true, Simplify: true})
+}
+
+// TestSessionReusesPrefixFragments pins the delta behavior the -watch
+// loop relies on: editing the last function keeps every earlier
+// fragment's key stable, so the second solve takes the delta path.
+func TestSessionReusesPrefixFragments(t *testing.T) {
+	ss := constraint.NewSession(NewAnalysis(nil, Options{}).Set())
+	analyzeThroughSession(t, ss, spansProgV1, Options{})
+	if d := ss.Delta(); d.Applied || d.Fallback != "first-solve" {
+		t.Fatalf("first solve: %+v", d)
+	}
+	analyzeThroughSession(t, ss, spansProgV2, Options{})
+	d := ss.Delta()
+	if !d.Applied {
+		t.Fatalf("expected delta hit after trailing edit, got %+v", d)
+	}
+	if d.FragsReused == 0 || d.FragsAdded == 0 || d.FragsRemoved == 0 {
+		t.Fatalf("expected a real fragment diff (reuse + replace), got %+v", d)
+	}
+}
+
+// TestSessionPolyRecHasNoSpans pins the gate: polymorphic recursion
+// keeps its sequential path and reports no fragment spans, so the
+// session transparently solves cold.
+func TestSessionPolyRecHasNoSpans(t *testing.T) {
+	f, err := cfront.Parse("t.c", spansProgV1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewAnalysis([]*cfront.File{f}, Options{Poly: true, PolyRec: true})
+	a.Prepare()
+	a.Constrain(1)
+	if spans := a.FragmentSpans(); spans != nil {
+		t.Fatalf("PolyRec mode returned spans: %v", spans)
+	}
+	ss := constraint.NewSession(a.Set())
+	a.Classify(a.SolveSession(context.Background(), ss))
+	if d := ss.Delta(); d.Applied || d.Fallback != "" {
+		t.Fatalf("session should stay untouched without spans: %+v", d)
+	}
+}

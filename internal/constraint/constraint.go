@@ -623,7 +623,14 @@ func (s *System) SolveContext(ctx context.Context) []*Unsat {
 		viol = append(viol, ec.cc...)
 		sort.Slice(viol, func(i, j int) bool { return viol[i] < viol[j] })
 	}
+	return s.buildUnsats(viol)
+}
 
+// buildUnsats converts violated constraint indices (ascending, in
+// constraint order) into deduplicated Unsat reports with blame paths.
+// It is shared by Solve and the delta re-solve path (Session), which
+// detect violations differently but must report them byte-identically.
+func (s *System) buildUnsats(viol []int32) []*Unsat {
 	var unsat []*Unsat
 	var incoming *incomingCSR
 	var reported map[string]bool // allocated on the first conflict
@@ -636,7 +643,7 @@ func (s *System) SolveContext(ctx context.Context) []*Unsat {
 			u := &Unsat{Con: *c, Lower: lv & c.Mask, Bound: bound | ^c.Mask}
 			if c.L.isVar {
 				if incoming == nil {
-					incoming = buildIncomingCSR(s.cons, n)
+					incoming = buildIncomingCSR(s.cons, s.n)
 				}
 				u.Path = s.blame(c.L.v, bad, incoming)
 			}
@@ -656,6 +663,15 @@ func (s *System) SolveContext(ctx context.Context) []*Unsat {
 		}
 	}
 	return unsat
+}
+
+// setSolution installs an externally computed solution and its stats —
+// the Session's delta re-solve path, which computes the fixpoints
+// outside the System. The caller transfers ownership of the slices
+// (they must not be mutated afterwards); subsequent Lower/Upper/Forced
+// queries and buildUnsats read them exactly as if Solve had run.
+func (s *System) setSolution(lower, upper []qual.Elem, stats SolveStats) {
+	s.lower, s.upper, s.stats, s.solved = lower, upper, stats, true
 }
 
 // grow32 and growElem reallocate a once, with room for exactly extra more

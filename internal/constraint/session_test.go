@@ -1,0 +1,245 @@
+package constraint_test
+
+// Deterministic unit tests for the Session delta engine: specific
+// hit and fallback scenarios, span validation, and counter behavior.
+// The randomized oracle lives in incr_stress_test.go.
+
+import (
+	"testing"
+
+	"repro/internal/constraint"
+	"repro/internal/qual"
+)
+
+func sessionTestSet(t *testing.T) *qual.Set {
+	t.Helper()
+	set, err := qual.NewSet(
+		qual.Qualifier{Name: "a", Sign: qual.Positive},
+		qual.Qualifier{Name: "b", Sign: qual.Positive},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return set
+}
+
+// vv builds a var⊑var constraint, cv a const⊑var, vc a var⊑const.
+func vv(a, b int, m qual.Elem) constraint.Constraint {
+	return constraint.Constraint{L: constraint.V(constraint.Var(a)), R: constraint.V(constraint.Var(b)), Mask: m}
+}
+func cv(c qual.Elem, v int, m qual.Elem) constraint.Constraint {
+	return constraint.Constraint{L: constraint.C(c), R: constraint.V(constraint.Var(v)), Mask: m}
+}
+func vc(v int, c qual.Elem, m qual.Elem) constraint.Constraint {
+	return constraint.Constraint{L: constraint.V(constraint.Var(v)), R: constraint.C(c), Mask: m}
+}
+
+// checkAgainstCold solves the same fragment list cold and compares the
+// session result var by var.
+func checkAgainstCold(t *testing.T, set *qual.Set, sess *constraint.Session, nv int, frags []*oracleFrag) *constraint.System {
+	t.Helper()
+	sysDelta, spans := buildOracleSystem(set, nv, frags)
+	sysCold, _ := buildOracleSystem(set, nv, frags)
+	sess.Solve(sysDelta, spans)
+	sysCold.Solve()
+	for v := 0; v < nv; v++ {
+		if got, want := sysDelta.Lower(constraint.Var(v)), sysCold.Lower(constraint.Var(v)); got != want {
+			t.Fatalf("lower(κ%d)=%#x want %#x (delta=%+v)", v, uint64(got), uint64(want), sess.Delta())
+		}
+		if got, want := sysDelta.Upper(constraint.Var(v)), sysCold.Upper(constraint.Var(v)); got != want {
+			t.Fatalf("upper(κ%d)=%#x want %#x (delta=%+v)", v, uint64(got), uint64(want), sess.Delta())
+		}
+	}
+	return sysDelta
+}
+
+func TestSessionFirstSolveThenHit(t *testing.T) {
+	set := sessionTestSet(t)
+	full := set.FullMask()
+	f1 := &oracleFrag{key: "sig", cons: []constraint.Constraint{cv(1, 0, full), vv(0, 1, full)}}
+	f2 := &oracleFrag{key: "body", cons: []constraint.Constraint{vv(1, 2, full)}}
+	sess := constraint.NewSession(set)
+
+	checkAgainstCold(t, set, sess, 4, []*oracleFrag{f1, f2})
+	if d := sess.Delta(); d.Applied || d.Fallback != "first-solve" {
+		t.Fatalf("first solve: %+v", d)
+	}
+
+	// Append a fragment extending the chain: must take the delta path.
+	f3 := &oracleFrag{key: "body2", cons: []constraint.Constraint{vv(2, 3, full)}}
+	sys := checkAgainstCold(t, set, sess, 4, []*oracleFrag{f1, f2, f3})
+	d := sess.Delta()
+	if !d.Applied {
+		t.Fatalf("expected delta hit, got %+v", d)
+	}
+	if d.FragsReused != 2 || d.FragsAdded != 1 || d.FragsRemoved != 0 {
+		t.Fatalf("frag diff: %+v", d)
+	}
+	if d.ResolvedSCCs == 0 {
+		t.Fatalf("delta hit resolved nothing: %+v", d)
+	}
+	st := sys.Stats()
+	if st.DeltaHits != 1 || st.DeltaFallbacks != 0 {
+		t.Fatalf("stats counters: %+v", st)
+	}
+}
+
+func TestSessionFragmentRemoval(t *testing.T) {
+	set := sessionTestSet(t)
+	full := set.FullMask()
+	f1 := &oracleFrag{key: "keep", cons: []constraint.Constraint{cv(1, 0, full), vv(0, 1, full)}}
+	f2 := &oracleFrag{key: "drop", cons: []constraint.Constraint{cv(2, 1, full), vv(1, 2, full)}}
+	sess := constraint.NewSession(set)
+	checkAgainstCold(t, set, sess, 3, []*oracleFrag{f1, f2})
+
+	// Dropping f2 must retire its seed and edges: κ1 loses the bit-2
+	// lower bound and κ2 goes back to unconstrained.
+	checkAgainstCold(t, set, sess, 3, []*oracleFrag{f1})
+	d := sess.Delta()
+	if !d.Applied || d.FragsRemoved != 1 || d.FragsReused != 1 {
+		t.Fatalf("removal diff: %+v", d)
+	}
+}
+
+func TestSessionReorderIsAHit(t *testing.T) {
+	set := sessionTestSet(t)
+	full := set.FullMask()
+	f1 := &oracleFrag{key: "a", cons: []constraint.Constraint{cv(1, 0, full)}}
+	f2 := &oracleFrag{key: "b", cons: []constraint.Constraint{vv(0, 1, full)}}
+	f3 := &oracleFrag{key: "c", cons: []constraint.Constraint{vc(1, 1, full)}}
+	sess := constraint.NewSession(set)
+	checkAgainstCold(t, set, sess, 2, []*oracleFrag{f1, f2, f3})
+
+	// Same fragments, new order: pure position change, zero churn.
+	checkAgainstCold(t, set, sess, 2, []*oracleFrag{f3, f1, f2})
+	d := sess.Delta()
+	if !d.Applied || d.FragsReused != 3 || d.FragsAdded != 0 || d.FragsRemoved != 0 {
+		t.Fatalf("reorder diff: %+v", d)
+	}
+}
+
+func TestSessionNewCycleCondensesInPlace(t *testing.T) {
+	set := sessionTestSet(t)
+	full := set.FullMask()
+	f1 := &oracleFrag{key: "base", cons: []constraint.Constraint{cv(1, 0, full), vv(0, 1, full)}}
+	sess := constraint.NewSession(set)
+	checkAgainstCold(t, set, sess, 6, []*oracleFrag{f1})
+
+	// A new fragment whose fresh variables form a cycle — the shape of
+	// a newly added function body with a loop. The free components are
+	// condensed on the spot, so this stays on the delta path.
+	f2 := &oracleFrag{key: "loop", cons: []constraint.Constraint{
+		vv(1, 3, full), vv(3, 4, full), vv(4, 5, full), vv(5, 3, full),
+	}}
+	sys := checkAgainstCold(t, set, sess, 6, []*oracleFrag{f1, f2})
+	d := sess.Delta()
+	if !d.Applied {
+		t.Fatalf("cycle among fresh vars should not fall back: %+v", d)
+	}
+	// The merged SCC must show up in the condensation counters exactly
+	// as a cold Tarjan pass would report it.
+	cold, _ := buildOracleSystem(set, 6, []*oracleFrag{f1, f2})
+	cold.Solve()
+	gs, ws := sys.Stats(), cold.Stats()
+	if gs.SCCsCollapsed != ws.SCCsCollapsed || gs.VarsCollapsed != ws.VarsCollapsed {
+		t.Fatalf("condensation counters: got %+v want %+v", gs, ws)
+	}
+}
+
+func TestSessionFallbackSCCEdgeRemoved(t *testing.T) {
+	set := sessionTestSet(t)
+	full := set.FullMask()
+	f1 := &oracleFrag{key: "cyc", cons: []constraint.Constraint{vv(0, 1, full), vv(1, 0, full)}}
+	f2 := &oracleFrag{key: "seed", cons: []constraint.Constraint{cv(1, 0, full)}}
+	sess := constraint.NewSession(set)
+	checkAgainstCold(t, set, sess, 2, []*oracleFrag{f1, f2})
+
+	// Removing the fragment that holds the SCC together must fall back:
+	// whether the component splits needs a reachability recheck.
+	sys := checkAgainstCold(t, set, sess, 2, []*oracleFrag{f2})
+	d := sess.Delta()
+	if d.Applied || d.Fallback != "scc-edge-removed" {
+		t.Fatalf("expected scc-edge-removed fallback, got %+v", d)
+	}
+	if st := sys.Stats(); st.DeltaFallbacks != 1 {
+		t.Fatalf("fallback counter: %+v", st)
+	}
+}
+
+func TestSessionFallbackSpanContentChanged(t *testing.T) {
+	set := sessionTestSet(t)
+	full := set.FullMask()
+	f1 := &oracleFrag{key: "f", cons: []constraint.Constraint{cv(1, 0, full)}}
+	sess := constraint.NewSession(set)
+	checkAgainstCold(t, set, sess, 1, []*oracleFrag{f1})
+
+	// Same key, different content length: the caller broke the
+	// content-address contract, so the session must solve cold.
+	f1b := &oracleFrag{key: "f", cons: []constraint.Constraint{cv(1, 0, full), vc(0, 1, full)}}
+	checkAgainstCold(t, set, sess, 1, []*oracleFrag{f1b})
+	if d := sess.Delta(); d.Applied || d.Fallback != "span-content-changed" {
+		t.Fatalf("expected span-content-changed fallback, got %+v", d)
+	}
+}
+
+func TestSessionFallbackMaskClassesChanged(t *testing.T) {
+	set := sessionTestSet(t)
+	full := set.FullMask()
+	f1 := &oracleFrag{key: "w", cons: []constraint.Constraint{vv(0, 1, full)}}
+	sess := constraint.NewSession(set)
+	checkAgainstCold(t, set, sess, 2, []*oracleFrag{f1})
+
+	// An edge under mask 1 splits {full} into {1, full&^1}: the whole
+	// per-class layout re-shapes, which is cold-solve territory.
+	f2 := &oracleFrag{key: "n", cons: []constraint.Constraint{vv(1, 0, 1)}}
+	checkAgainstCold(t, set, sess, 2, []*oracleFrag{f1, f2})
+	if d := sess.Delta(); d.Applied || d.Fallback != "mask-classes-changed" {
+		t.Fatalf("expected mask-classes-changed fallback, got %+v", d)
+	}
+}
+
+func TestSessionUnsatMatchesCold(t *testing.T) {
+	set := sessionTestSet(t)
+	full := set.FullMask()
+	f1 := &oracleFrag{key: "lo", cons: []constraint.Constraint{
+		{L: constraint.C(3), R: constraint.V(0), Mask: full, Why: constraint.Reason{Pos: "lo:0", Msg: "src"}},
+	}}
+	sess := constraint.NewSession(set)
+	checkAgainstCold(t, set, sess, 2, []*oracleFrag{f1})
+
+	// Add a conflicting upper bound through the delta path; the Unsat
+	// report (blame path included) must match the cold solve's.
+	f2 := &oracleFrag{key: "hi", cons: []constraint.Constraint{
+		{L: constraint.V(0), R: constraint.V(1), Mask: full, Why: constraint.Reason{Pos: "hi:0", Msg: "flow"}},
+		{L: constraint.V(1), R: constraint.C(1), Mask: full, Why: constraint.Reason{Pos: "hi:1", Msg: "sink"}},
+	}}
+	sysDelta, spans := buildOracleSystem(set, 2, []*oracleFrag{f1, f2})
+	sysCold, _ := buildOracleSystem(set, 2, []*oracleFrag{f1, f2})
+	got := sess.Solve(sysDelta, spans)
+	want := sysCold.Solve()
+	if !sess.Delta().Applied {
+		t.Fatalf("expected delta hit, got %+v", sess.Delta())
+	}
+	if len(got) != len(want) || len(got) == 0 {
+		t.Fatalf("unsat count: got %d want %d (nonzero)", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Explain(set) != want[i].Explain(set) {
+			t.Fatalf("unsat %d:\n got: %s\nwant: %s", i, got[i].Explain(set), want[i].Explain(set))
+		}
+	}
+}
+
+func TestSessionSpanValidationPanics(t *testing.T) {
+	set := sessionTestSet(t)
+	full := set.FullMask()
+	sys := constraint.NewSystem(set)
+	sys.Fresh()
+	sys.AddMasked(constraint.C(1), constraint.V(0), full, constraint.Reason{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on non-covering spans")
+		}
+	}()
+	constraint.NewSession(set).Solve(sys, []constraint.FragmentSpan{{Key: "f", Start: 0, End: 0}})
+}

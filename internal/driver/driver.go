@@ -147,6 +147,11 @@ type Result struct {
 	// the solver's cycle condensation compressed it (zero value if the
 	// front end failed and the Solve stage never ran).
 	Solver constraint.SolveStats
+	// Delta describes what the retained delta session did for this run's
+	// solve; nil when the run solved cold (Run/RunContext, or a session
+	// mode without fragment spans still sets it, with Applied=false and
+	// the fallback reason).
+	Delta *constraint.DeltaStats
 }
 
 // HasErrors reports whether any diagnostic is an error.
@@ -186,6 +191,13 @@ func Run(cfg Config, sources []Source) (*Result, error) {
 // deadline is noticed — which keeps every stage's determinism guarantees
 // intact.
 func RunContext(ctx context.Context, cfg Config, sources []Source) (*Result, error) {
+	return runPipeline(ctx, cfg, sources, nil)
+}
+
+// runPipeline is the shared Load → … → Report spine behind RunContext
+// and Session.RunDelta; a non-nil sess routes the Solve stage through
+// its retained constraint session.
+func runPipeline(ctx context.Context, cfg Config, sources []Source, sess *Session) (*Result, error) {
 	if len(sources) == 0 {
 		return nil, errors.New("driver: no input sources")
 	}
@@ -263,7 +275,7 @@ func RunContext(ctx context.Context, cfg Config, sources []Source) (*Result, err
 		return res, nil
 	}
 
-	if err := runAnalysis(ctx, cfg, res); err != nil {
+	if err := runAnalysis(ctx, cfg, res, sess); err != nil {
 		return nil, err
 	}
 	return res, nil
@@ -277,7 +289,7 @@ func RunFiles(cfg Config, files []*cfront.File) (*Result, error) {
 		return nil, errors.New("driver: no input files")
 	}
 	res := &Result{Config: cfg, Files: files}
-	if err := runAnalysis(context.Background(), cfg, res); err != nil {
+	if err := runAnalysis(context.Background(), cfg, res, nil); err != nil {
 		return nil, err
 	}
 	return res, nil
@@ -286,7 +298,7 @@ func RunFiles(cfg Config, files []*cfront.File) (*Result, error) {
 // runAnalysis drives the Build → Constrain → Solve → Classify stages and
 // the optional initialization check over res.Files, checking ctx at each
 // stage boundary.
-func runAnalysis(ctx context.Context, cfg Config, res *Result) error {
+func runAnalysis(ctx context.Context, cfg Config, res *Result, sess *Session) error {
 	tr := obs.FromContext(ctx)
 	sp := tr.Start("driver", "driver.build")
 	start := time.Now()
@@ -329,7 +341,17 @@ func runAnalysis(ctx context.Context, cfg Config, res *Result) error {
 
 	sp = tr.Start("driver", "driver.solve")
 	start = time.Now()
-	conflicts := a.SolveSystemContext(ctx)
+	var conflicts []*constraint.Unsat
+	if sess != nil {
+		if sess.ss == nil {
+			sess.ss = constraint.NewSession(a.Set())
+		}
+		conflicts = a.SolveSession(ctx, sess.ss)
+		d := sess.ss.Delta()
+		res.Delta = &d
+	} else {
+		conflicts = a.SolveSystemContext(ctx)
+	}
 	res.Timings.Solve = time.Since(start)
 	res.Solver = a.SolveStats()
 	sp.SetAttr(obs.Int("vars", res.Solver.Vars),

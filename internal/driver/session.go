@@ -1,0 +1,71 @@
+package driver
+
+// Retained analysis sessions: the delta re-solve engine's front door at
+// the pipeline level.
+//
+// A Session pairs one Config with one constraint.Session and re-runs
+// the full pipeline on each RunDelta call. The front end (Load, Parse,
+// Build, Constrain) always runs — it is what re-derives the constraint
+// system and its fragment spans for the edited sources — while the
+// Solve stage hands the fresh system to the retained session, which
+// re-solves only the region downstream of changed fragments (or falls
+// back to a cold solve; results are byte-identical either way, held to
+// that by the delta oracle in internal/constraint).
+//
+// Fragments are content-addressed (see constinfer.FragmentSpans), so
+// the session needs no notion of which files changed: whatever the
+// edit, unchanged fragments re-derive unchanged keys and are reused.
+
+import (
+	"context"
+	"sync"
+
+	"repro/internal/constraint"
+)
+
+// Session retains solver state between pipeline runs over successive
+// versions of the same program. The zero value is not usable; call
+// NewSession. A Session is safe for concurrent RunDelta calls (they
+// serialize), but one session must only ever see versions of one
+// logical program — feeding it unrelated programs is correct yet
+// defeats the reuse.
+type Session struct {
+	cfg Config
+
+	mu sync.Mutex
+	ss *constraint.Session // created on first RunDelta, once the suite exists
+}
+
+// NewSession creates a retained analysis session for the config. The
+// config is fixed for the session's lifetime: mode, analyses, and
+// preludes all shape the constraint system, so changing them means a
+// new session.
+func NewSession(cfg Config) *Session {
+	return &Session{cfg: cfg}
+}
+
+// Config returns the session's pipeline configuration.
+func (s *Session) Config() Config { return s.cfg }
+
+// RunDelta executes the pipeline over the sources with the Solve stage
+// routed through the session's retained state. The Result is identical
+// to RunContext's — diagnostics, positions, stats, everything — with
+// Result.Delta additionally describing the fragment diff and dirty
+// region (or the fallback reason). Front-end failures leave the
+// retained state untouched.
+func (s *Session) RunDelta(ctx context.Context, sources []Source) (*Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return runPipeline(ctx, s.cfg, sources, s)
+}
+
+// Delta reports what the session's last solve did; the zero value
+// before any solve has happened.
+func (s *Session) Delta() constraint.DeltaStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ss == nil {
+		return constraint.DeltaStats{}
+	}
+	return s.ss.Delta()
+}

@@ -1,0 +1,140 @@
+package driver
+
+import (
+	"context"
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+const sessProgV1 = `
+int strlen(const char *s);
+void sink(char *p) { *p = 0; }
+int probe(const char *s) { return strlen(s); }
+void use(char *buf) { sink(buf); probe(buf); }
+`
+
+const sessProgV2 = `
+int strlen(const char *s);
+void sink(char *p) { *p = 0; }
+int probe(const char *s) { return strlen(s); }
+void use(char *buf) { sink(buf); probe(buf); probe(buf); }
+`
+
+// normalizeJSON strips the run-dependent parts of a report — timings
+// and the delta block — so session and cold output can be compared as
+// rendered bytes.
+func normalizeJSON(t *testing.T, raw []byte) map[string]any {
+	t.Helper()
+	var m map[string]any
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	delete(m, "timings")
+	if s, ok := m["solver"].(map[string]any); ok {
+		delete(s, "delta")
+	}
+	return m
+}
+
+func TestSessionRunDeltaMatchesCold(t *testing.T) {
+	cfg := Config{Jobs: 1}
+	sess := NewSession(cfg)
+	for round, src := range []string{sessProgV1, sessProgV2, sessProgV1} {
+		sources := []Source{TextSource("t.c", src)}
+		got, err := sess.RunDelta(context.Background(), sources)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := RunContext(context.Background(), cfg, sources)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Delta == nil {
+			t.Fatalf("round %d: session run has no Delta", round)
+		}
+		if want.Delta != nil {
+			t.Fatalf("round %d: cold run has a Delta: %+v", round, want.Delta)
+		}
+		gj, err := got.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wj, err := want.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		gm, wm := normalizeJSON(t, gj), normalizeJSON(t, wj)
+		if !reflect.DeepEqual(gm, wm) {
+			t.Fatalf("round %d: reports differ\n got: %s\nwant: %s", round, gj, wj)
+		}
+	}
+	// Round 1 edits only the trailing function; round 2 restores v1.
+	// Both must have engaged the delta machinery.
+	if d := sess.Delta(); !d.Applied && d.Fallback == "first-solve" {
+		t.Fatalf("session never advanced past the first solve: %+v", d)
+	}
+}
+
+func TestSessionRunDeltaTrailingEditHits(t *testing.T) {
+	sess := NewSession(Config{Jobs: 1})
+	ctx := context.Background()
+	if _, err := sess.RunDelta(ctx, []Source{TextSource("t.c", sessProgV1)}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sess.RunDelta(ctx, []Source{TextSource("t.c", sessProgV2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := res.Delta
+	if d == nil || !d.Applied {
+		t.Fatalf("trailing edit should take the delta path: %+v", d)
+	}
+	if d.FragsReused == 0 {
+		t.Fatalf("no fragments reused: %+v", d)
+	}
+	raw, err := res.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m struct {
+		Solver struct {
+			Delta *struct {
+				Applied     bool `json:"applied"`
+				FragsReused int  `json:"frags_reused"`
+				Hits        int  `json:"hits"`
+			} `json:"delta"`
+		} `json:"solver"`
+	}
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Solver.Delta == nil || !m.Solver.Delta.Applied || m.Solver.Delta.Hits != 1 {
+		t.Fatalf("JSON delta block: %+v", m.Solver.Delta)
+	}
+}
+
+// TestSessionRunDeltaFrontEndError pins that a parse failure leaves the
+// retained state untouched: the next good run still diffs against the
+// last good solve.
+func TestSessionRunDeltaFrontEndError(t *testing.T) {
+	sess := NewSession(Config{Jobs: 1})
+	ctx := context.Background()
+	if _, err := sess.RunDelta(ctx, []Source{TextSource("t.c", sessProgV1)}); err != nil {
+		t.Fatal(err)
+	}
+	bad, err := sess.RunDelta(ctx, []Source{TextSource("t.c", "void broken( {")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bad.HasErrors() || bad.Delta != nil {
+		t.Fatalf("broken run: errors=%v delta=%+v", bad.HasErrors(), bad.Delta)
+	}
+	res, err := sess.RunDelta(ctx, []Source{TextSource("t.c", sessProgV2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delta == nil || !res.Delta.Applied {
+		t.Fatalf("run after a front-end error should still delta: %+v", res.Delta)
+	}
+}

@@ -1,0 +1,24 @@
+package experiment
+
+import "testing"
+
+// TestMeasureDelta checks the warm-session measurement at a reduced
+// size: every warm round must take the delta path, and a one-fragment
+// edit must re-solve faster than a cold solve. The headline <20% ratio
+// at n=20k is asserted in the committed BENCH_6.json, not here — CI
+// machines are too noisy for a tight timing bound in a unit test.
+func TestMeasureDelta(t *testing.T) {
+	r := MeasureDelta(4000, 5)
+	if r.Vars != 4000 || r.Constraints == 0 || r.Frags < 2 {
+		t.Fatalf("workload shape: %+v", r)
+	}
+	if r.Fallbacks != 0 || r.Hits != 5 {
+		t.Fatalf("warm rounds should all hit: %+v", r)
+	}
+	if r.ColdSolve <= 0 || r.WarmResolve <= 0 {
+		t.Fatalf("degenerate timings: %+v", r)
+	}
+	if r.WarmResolve >= r.ColdSolve {
+		t.Fatalf("warm re-solve (%v) not faster than cold (%v)", r.WarmResolve, r.ColdSolve)
+	}
+}

@@ -79,6 +79,10 @@ type Config struct {
 	// (0 = 65536 entries / 256 MiB).
 	SummaryEntries int
 	SummaryBytes   int64
+	// SessionEntries bounds the retained delta re-solve sessions
+	// (0 = 64). Eviction drops solver state; the next request for that
+	// corpus pays one cold solve.
+	SessionEntries int
 	// EnablePprof mounts the net/http/pprof handlers under
 	// /debug/pprof/. Off by default: the endpoints expose goroutine
 	// stacks and heap contents, so they are opt-in.
@@ -120,6 +124,7 @@ type Server struct {
 	cfg       Config
 	results   *cache.ResultCache
 	summaries *cache.SummaryStore
+	sessions  *cache.SessionStore
 	sem       chan struct{}
 	mux       *http.ServeMux
 	start     time.Time
@@ -135,8 +140,15 @@ type Server struct {
 
 	stageRuns atomic.Uint64             // completed runs contributing to the stage sums
 	stageHist [numStages]*obs.Histogram // per-stage latency, seconds
-	reqHist   map[string]*obs.Histogram // end-to-end latency by cache hit/miss
+	reqHist   map[string]*obs.Histogram // end-to-end latency by cache hit/miss/session
 	solver    [6]*obs.Counter           // summed solver condensation counters
+
+	// Delta re-solve aggregates over session requests that reached the
+	// solver: hits took the incremental path, fallbacks re-solved cold.
+	deltaHits      *obs.Counter
+	deltaFallbacks *obs.Counter
+	deltaSCCs      *obs.Counter   // components re-solved on delta hits
+	deltaDirty     *obs.Histogram // dirty-region size (variables) per hit
 
 	// perAnalysis is keyed by registered analysis name and fully
 	// populated at New — the map is never written afterwards, so
@@ -174,6 +186,9 @@ func New(cfg Config) *Server {
 	if cfg.SummaryBytes == 0 {
 		cfg.SummaryBytes = 256 << 20
 	}
+	if cfg.SessionEntries == 0 {
+		cfg.SessionEntries = 64
+	}
 	if cfg.TraceEntries == 0 {
 		cfg.TraceEntries = 32
 	}
@@ -185,6 +200,7 @@ func New(cfg Config) *Server {
 		cfg:         cfg,
 		results:     cache.NewResultCache(cfg.ResultEntries, cfg.ResultBytes),
 		summaries:   cache.NewSummaryStore(cfg.SummaryEntries, cfg.SummaryBytes),
+		sessions:    cache.NewSessionStore(cfg.SessionEntries),
 		sem:         make(chan struct{}, cfg.MaxConcurrent),
 		mux:         http.NewServeMux(),
 		start:       time.Now(),
@@ -229,6 +245,7 @@ func (s *Server) registerMetrics() {
 	}{
 		{"result", s.results.Stats},
 		{"summary", s.summaries.Stats},
+		{"session", s.sessions.Stats},
 	} {
 		stats := c.stats
 		lbl := obs.L("cache", c.name)
@@ -244,6 +261,8 @@ func (s *Server) registerMetrics() {
 			"End-to-end analyze latency, by result-cache outcome.", nil, obs.L("cache", "hit")),
 		"miss": r.NewHistogram("cquald_request_seconds",
 			"End-to-end analyze latency, by result-cache outcome.", nil, obs.L("cache", "miss")),
+		"session": r.NewHistogram("cquald_request_seconds",
+			"End-to-end analyze latency, by result-cache outcome.", nil, obs.L("cache", "session")),
 	}
 	for i, name := range stageNames {
 		s.stageHist[i] = r.NewHistogram("cquald_stage_seconds",
@@ -255,6 +274,16 @@ func (s *Server) registerMetrics() {
 		s.solver[i] = r.NewCounter("cquald_solver_"+name+"_total",
 			"Summed solver counter over completed analyses (see constraint.SolveStats).")
 	}
+
+	s.deltaHits = r.NewCounter("cquald_delta_hits_total",
+		"Session solves that took the incremental delta path.")
+	s.deltaFallbacks = r.NewCounter("cquald_delta_fallbacks_total",
+		"Session solves that fell back to a cold solve.")
+	s.deltaSCCs = r.NewCounter("cquald_delta_resolved_sccs_total",
+		"Condensed components re-solved across delta hits.")
+	s.deltaDirty = r.NewHistogram("cquald_delta_dirty_vars",
+		"Dirty-region size in variables per delta hit.",
+		[]float64{1, 10, 100, 1_000, 10_000, 100_000, 1_000_000})
 
 	for _, name := range analysis.Names() {
 		s.perAnalysis[name] = &analysisCounters{
@@ -287,6 +316,15 @@ type AnalyzeRequest struct {
 	// Preludes carry qualifier prelude texts declaring library seeds
 	// and sinks for the selected analyses.
 	Preludes []PreludeJSON `json:"preludes,omitempty"`
+	// Session names a corpus for delta re-solve: requests carrying the
+	// same session id (under the same mode, analyses, and preludes) share
+	// a retained constraint-graph session, and each solve re-derives only
+	// the region downstream of changed constraint fragments. The response
+	// body gains a solver.delta block and X-Cache reports "session"; the
+	// result cache is bypassed, since a session report depends on the
+	// session's history, not just the request. Results remain
+	// byte-identical to a cold run modulo that block.
+	Session string `json:"session,omitempty"`
 }
 
 // SourceJSON is one in-memory translation unit.
@@ -406,11 +444,24 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	}
 	s.countRequests(cfg.AnalysisNames())
 
+	// Session requests bypass the result cache in both directions: the
+	// retained session must observe every source version to stay
+	// current, and a session report's delta block depends on session
+	// history, so caching it under (config, sources) would replay a
+	// stale diff.
+	var sess *driver.Session
+	if req.Session != "" {
+		sess, _ = s.sessions.GetOrCreate(cache.SessionKey(cfg, req.Session),
+			func() *driver.Session { return driver.NewSession(cfg) })
+	}
+
 	key := cache.RequestKey(cfg, sources)
-	if report, ok := s.results.Get(key); ok {
-		s.writeReport(w, report, "hit")
-		s.finishRequest(r, traceID, "hit", len(sources), began)
-		return
+	if sess == nil {
+		if report, ok := s.results.Get(key); ok {
+			s.writeReport(w, report, "hit")
+			s.finishRequest(r, traceID, "hit", len(sources), began)
+			return
+		}
 	}
 
 	ctx := r.Context()
@@ -434,7 +485,13 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	res, err := driver.RunContext(ctx, cfg, sources)
+	var res *driver.Result
+	var err error
+	if sess != nil {
+		res, err = sess.RunDelta(ctx, sources)
+	} else {
+		res, err = driver.RunContext(ctx, cfg, sources)
+	}
 	if err != nil {
 		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
 			s.deadline(w, err)
@@ -451,9 +508,31 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	s.analyses.Inc()
 	s.countDiagnostics(res.Diagnostics)
 	s.recordTimings(res.Timings, res.Solver)
+	if sess != nil {
+		s.recordDelta(res.Delta)
+		s.writeReport(w, report, "session")
+		s.finishRequest(r, traceID, "session", len(sources), began)
+		return
+	}
 	s.results.Put(key, report)
 	s.writeReport(w, report, "miss")
 	s.finishRequest(r, traceID, "miss", len(sources), began)
+}
+
+// recordDelta aggregates one session solve's delta outcome. A nil stats
+// pointer means the run failed before the solver (front-end errors);
+// those runs move no delta counter.
+func (s *Server) recordDelta(d *constraint.DeltaStats) {
+	if d == nil {
+		return
+	}
+	if d.Applied {
+		s.deltaHits.Inc()
+		s.deltaSCCs.Add(uint64(d.ResolvedSCCs))
+		s.deltaDirty.Observe(float64(d.DirtyVars))
+	} else {
+		s.deltaFallbacks.Inc()
+	}
 }
 
 // finishRequest observes the end-to-end latency histogram and emits the
@@ -545,8 +624,10 @@ type Metrics struct {
 	InFlight     int64        `json:"in_flight"`
 	ResultCache  cache.Stats  `json:"result_cache"`
 	SummaryCache cache.Stats  `json:"summary_cache"`
+	Sessions     cache.Stats  `json:"sessions"`
 	Stages       StageTotals  `json:"stages"`
 	Solver       SolverTotals `json:"solver"`
+	Delta        DeltaTotals  `json:"delta"`
 	// PerAnalysis breaks request and diagnostic counts down by qualifier
 	// analysis ("const", "taint", ...).
 	PerAnalysis map[string]AnalysisMetrics `json:"per_analysis"`
@@ -588,6 +669,16 @@ type SolverTotals struct {
 	EdgesDropped  uint64 `json:"edges_dropped"`
 }
 
+// DeltaTotals sums the delta re-solve outcomes over session requests
+// that reached the solver. DirtyVars is the summed dirty-region size
+// over hits — with Hits it gives the mean incremental region.
+type DeltaTotals struct {
+	Hits         uint64 `json:"hits"`
+	Fallbacks    uint64 `json:"fallbacks"`
+	ResolvedSCCs uint64 `json:"resolved_sccs"`
+	DirtyVars    uint64 `json:"dirty_vars"`
+}
+
 // Snapshot returns the current metrics. Every read is an atomic load;
 // a snapshot taken during a storm of analyses costs the analyses
 // nothing.
@@ -612,7 +703,14 @@ func (s *Server) Snapshot() Metrics {
 		InFlight:     s.inFlight.Load(),
 		ResultCache:  s.results.Stats(),
 		SummaryCache: s.summaries.Stats(),
+		Sessions:     s.sessions.Stats(),
 		PerAnalysis:  per,
+		Delta: DeltaTotals{
+			Hits:         s.deltaHits.Value(),
+			Fallbacks:    s.deltaFallbacks.Value(),
+			ResolvedSCCs: s.deltaSCCs.Value(),
+			DirtyVars:    uint64(s.deltaDirty.Sum()),
+		},
 		Solver: SolverTotals{
 			Vars:          s.solver[0].Value(),
 			Constraints:   s.solver[1].Value(),
