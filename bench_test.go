@@ -14,7 +14,9 @@
 //   - BenchmarkAblationPolyRec       — polymorphic recursion;
 //   - BenchmarkAblationLambdaPoly    — mono vs poly on the example
 //     language (generated programs);
-//   - BenchmarkSolverScaling         — the atomic-subtyping solver alone.
+//   - BenchmarkSolverScaling         — the atomic-subtyping solver alone;
+//   - BenchmarkGoFrontSelf           — the Go front end analyzing one of
+//     this repository's own packages (the self-analysis workload).
 //
 // Run with: go test -bench=. -benchmem
 package repro
@@ -30,6 +32,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/driver"
 	"repro/internal/experiment"
+	_ "repro/internal/gofront"
 	"repro/internal/lambda"
 	"repro/internal/progen"
 	"repro/internal/qual"
@@ -156,6 +159,23 @@ func BenchmarkDriverSerial(b *testing.B) { benchDriver(b, 1) }
 // worker pool; with ≥4 cores it should beat BenchmarkDriverSerial while
 // producing byte-identical output (see TestCqualGoldenDeterminism).
 func BenchmarkDriverParallel(b *testing.B) { benchDriver(b, 0) }
+
+// BenchmarkGoFrontSelf is the Go front end's flagship workload: the
+// checker analyzing its own constraint-solver package end to end
+// (load, type-check, θ translation, constrain, solve, classify).
+func BenchmarkGoFrontSelf(b *testing.B) {
+	cfg := driver.Config{Lang: "go"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := driver.Run(cfg, []driver.Source{{Path: "./internal/constraint"}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Report == nil || res.Report.Functions == 0 {
+			b.Fatalf("self-analysis produced no report: %v", res.Diagnostics)
+		}
+	}
+}
 
 // BenchmarkFigure6 runs the complete experiment pipeline (generate, parse,
 // mono, poly, render) for the two smallest benchmarks, the unit of work

@@ -55,14 +55,16 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/constinfer"
 	"repro/internal/driver"
+	_ "repro/internal/gofront" // registers the -lang go front end
 	"repro/internal/obs"
 	"repro/internal/qual"
 	"repro/internal/server"
 )
 
-const usage = "usage: cqual [-analysis LIST] [-prelude FILES] [-poly] [-polyrec] [-simplify] [-v] [-json] [-stats] [-trace FILE] [-serve URL] file.c ..."
+const usage = "usage: cqual [-lang c|go] [-analysis LIST] [-prelude FILES] [-poly] [-polyrec] [-simplify] [-v] [-json] [-stats] [-trace FILE] [-serve URL] file.c ... | ./pkg/..."
 
 func main() {
+	lang := flag.String("lang", "c", "source language / front end (see driver.FrontEndLangs: c, go)")
 	poly := flag.Bool("poly", false, "polymorphic qualifier inference (Section 4.3)")
 	polyrec := flag.Bool("polyrec", false, "polymorphic recursion (implies -poly)")
 	simplify := flag.Bool("simplify", false, "simplify schemes (with -poly)")
@@ -86,6 +88,12 @@ func main() {
 	}
 	if *jobs < 0 {
 		fmt.Fprintln(os.Stderr, "cqual: -jobs must be >= 0")
+		fmt.Fprintln(os.Stderr, usage)
+		os.Exit(2)
+	}
+	if _, ok := driver.LookupFrontEnd(*lang); !ok {
+		fmt.Fprintf(os.Stderr, "cqual: unknown language %q (registered: %s)\n",
+			*lang, strings.Join(driver.FrontEndLangs(), ", "))
 		fmt.Fprintln(os.Stderr, usage)
 		os.Exit(2)
 	}
@@ -118,6 +126,7 @@ func main() {
 			os.Exit(2)
 		}
 		os.Exit(runRemote(*serve, remoteOptions{
+			lang: *lang,
 			poly: *poly, polyrec: *polyrec, simplify: *simplify || *schemes,
 			uninit: *uninit, jobs: *jobs,
 			analyses: analyses, preludes: preludes,
@@ -125,6 +134,7 @@ func main() {
 	}
 
 	cfg := driver.Config{
+		Lang: *lang,
 		Options: constinfer.Options{
 			Poly:     *poly || *polyrec,
 			PolyRec:  *polyrec,
@@ -199,7 +209,7 @@ func main() {
 			fmt.Printf("%s: %s\n    was: %s\n    now: %s\n", s.Pos, s.Func, s.Old, s.New)
 		}
 	}
-	if *schemes && constSelected {
+	if *schemes && constSelected && res.Analysis != nil {
 		names := make([]string, 0, len(rep.Positions))
 		seen := map[string]bool{}
 		for _, p := range rep.Positions {
@@ -300,6 +310,7 @@ func printAnalyses() {
 }
 
 type remoteOptions struct {
+	lang                            string
 	poly, polyrec, simplify, uninit bool
 	jobs                            int
 	analyses                        []string
@@ -309,9 +320,16 @@ type remoteOptions struct {
 // runRemote is the -serve client: it reads the files locally, POSTs them
 // to a cquald daemon, and prints the daemon's report verbatim. The exit
 // status mirrors the -json local path (0 clean, 1 conflicts, 2 front-end
-// or transport failure) so scripts can swap -serve in and out.
+// or transport failure) so scripts can swap -serve in and out. With
+// -lang go the arguments must be .go files (the daemon analyzes
+// request-supplied texts as one package; package patterns are local).
 func runRemote(base string, opts remoteOptions, paths []string) int {
+	lang := opts.lang
+	if lang == "c" {
+		lang = "" // the wire default; keeps C requests byte-identical
+	}
 	req := server.AnalyzeRequest{
+		Lang:     lang,
 		Poly:     opts.poly,
 		PolyRec:  opts.polyrec,
 		Simplify: opts.simplify,

@@ -11,7 +11,7 @@
 //	       [-summary-cache-entries n] [-summary-cache-bytes n]
 //	       [-session-entries n]
 //	       [-pprof] [-slow-request d] [-trace-entries n]
-//	cquald -watch DIR [-watch-interval d] [-jobs n]
+//	cquald -watch DIR [-watch-interval d] [-jobs n] [-lang l]
 //	       [-poly] [-polyrec] [-simplify] [-uninit]
 //	       [-analysis LIST] [-prelude FILES]
 //
@@ -34,14 +34,15 @@
 // fragments, visible in the report's solver.delta block and the
 // /metrics delta counters.
 //
-// With -watch DIR the daemon serves no HTTP at all: it polls DIR for .c
-// files (stdlib mtime/size polling, -watch-interval apart) and re-runs
-// the analysis through one retained session whenever a file appears,
-// changes, or disappears, printing conflict diagnostics with their flow
-// paths plus a per-run delta summary to stdout. The mode flags
-// (-poly, -polyrec, -simplify, -uninit, -analysis, -prelude) mirror
-// cqual and apply only to -watch, which fixes the configuration for the
-// session's lifetime.
+// With -watch DIR the daemon serves no HTTP at all: it walks DIR
+// recursively for the active front end's source files (.c by default,
+// .go with -lang go; stdlib mtime/size polling, -watch-interval apart)
+// and re-runs the analysis through one retained session whenever a
+// file appears, changes, or disappears, printing conflict diagnostics
+// with their flow paths plus a per-run delta summary to stdout. The
+// mode flags (-lang, -poly, -polyrec, -simplify, -uninit, -analysis,
+// -prelude) mirror cqual and apply only to -watch, which fixes the
+// configuration for the session's lifetime.
 package main
 
 import (
@@ -57,6 +58,7 @@ import (
 	"syscall"
 	"time"
 
+	_ "repro/internal/gofront" // registers the -lang go front end
 	"repro/internal/server"
 )
 
@@ -74,8 +76,9 @@ func main() {
 	enablePprof := flag.Bool("pprof", false, "mount the net/http/pprof profiling handlers under /debug/pprof/")
 	slowRequest := flag.Duration("slow-request", 0, "log analyze requests at or above this latency (0 = disabled)")
 	traceEntries := flag.Int("trace-entries", 0, "retained ?trace=1 traces (0 = 32)")
-	watch := flag.String("watch", "", "watch this directory of .c files instead of serving HTTP; re-analyze on change through a retained session")
+	watch := flag.String("watch", "", "watch this directory of source files instead of serving HTTP; re-analyze on change through a retained session")
 	watchInterval := flag.Duration("watch-interval", 500*time.Millisecond, "poll interval for -watch")
+	lang := flag.String("lang", "", "with -watch: source language of the watched files (c, go; default c)")
 	poly := flag.Bool("poly", false, "with -watch: polymorphic qualifier inference")
 	polyrec := flag.Bool("polyrec", false, "with -watch: polymorphic recursion (implies -poly)")
 	simplify := flag.Bool("simplify", false, "with -watch: simplify schemes")
@@ -96,7 +99,7 @@ func main() {
 	if *watch != "" {
 		os.Exit(runWatchMode(*watch, *watchInterval, watchOptions{
 			poly: *poly, polyrec: *polyrec, simplify: *simplify,
-			uninit: *uninit, jobs: *jobs,
+			uninit: *uninit, jobs: *jobs, lang: *lang,
 			analyses: *analysisFlag, preludes: *preludeFlag,
 		}))
 	}
@@ -106,6 +109,7 @@ func main() {
 	}{
 		{*poly, "-poly"}, {*polyrec, "-polyrec"}, {*simplify, "-simplify"},
 		{*uninit, "-uninit"}, {*analysisFlag != "", "-analysis"}, {*preludeFlag != "", "-prelude"},
+		{*lang != "", "-lang"},
 	} {
 		if f.set {
 			fmt.Fprintf(os.Stderr, "cquald: %s only applies to -watch; HTTP requests carry their own mode flags\n", f.name)

@@ -1,13 +1,14 @@
 package main
 
 // -watch mode: the delta re-solve engine's local front door. Instead of
-// serving HTTP, the daemon polls a directory of C sources (stdlib only —
-// os.ReadDir plus mtime/size stamps, no platform notification APIs) and
-// re-analyzes through one retained driver.Session whenever a file
-// appears, changes, or disappears. Each run prints the conflict
-// diagnostics with their step-by-step flow paths and a one-line delta
-// summary: what the retained session reused and how much of the
-// constraint graph the edit actually dirtied.
+// serving HTTP, the daemon walks a directory tree for the active front
+// end's source files (stdlib only — filepath.WalkDir plus mtime/size
+// stamps, no platform notification APIs) and re-analyzes through one
+// retained driver.Session whenever a file appears, changes, or
+// disappears. Each run prints the conflict diagnostics with their
+// step-by-step flow paths and a one-line delta summary: what the
+// retained session reused and how much of the constraint graph the
+// edit actually dirtied.
 
 import (
 	"context"
@@ -30,6 +31,7 @@ import (
 type watchOptions struct {
 	poly, polyrec, simplify, uninit bool
 	jobs                            int
+	lang                            string // front-end language ("" = c)
 	analyses                        string // comma-separated
 	preludes                        string // comma-separated file paths
 }
@@ -71,6 +73,12 @@ func runWatchMode(dir string, interval time.Duration, opts watchOptions) int {
 		}
 		preludes = append(preludes, driver.PreludeFile{Path: path, Text: string(text)})
 	}
+	fe, ok := driver.LookupFrontEnd(opts.lang)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "cquald: unknown language %q (registered: %s)\n",
+			opts.lang, strings.Join(driver.FrontEndLangs(), ", "))
+		return 2
+	}
 	cfg := driver.Config{
 		Options: constinfer.Options{
 			Poly:     opts.poly || opts.polyrec,
@@ -78,16 +86,22 @@ func runWatchMode(dir string, interval time.Duration, opts watchOptions) int {
 			Simplify: opts.simplify,
 		},
 		Jobs:     opts.jobs,
+		Lang:     fe.Lang(),
 		Uninit:   opts.uninit,
 		Analyses: analyses,
 		Preludes: preludes,
+	}
+	if err := fe.Check(cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "cquald:", err)
+		return 2
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	fmt.Printf("cquald: watching %s every %v (mode %s)\n", dir, interval, cfg.Mode())
+	fmt.Printf("cquald: watching %s every %v (lang %s, mode %s)\n", dir, interval, fe.Lang(), cfg.Mode())
 	w := newWatcher(dir, cfg, os.Stdout)
+	w.exts = fe.Extensions()
 	if err := w.run(ctx, interval); err != nil {
 		fmt.Fprintln(os.Stderr, "cquald: watch:", err)
 		return 1
@@ -109,6 +123,7 @@ type watcher struct {
 	dir  string
 	sess *driver.Session
 	out  io.Writer
+	exts []string // source extensions claimed by the front end
 	seen map[string]fileStamp
 	runs int
 }
@@ -118,31 +133,58 @@ func newWatcher(dir string, cfg driver.Config, out io.Writer) *watcher {
 		dir:  dir,
 		sess: driver.NewSession(cfg),
 		out:  out,
+		exts: []string{".c"},
 		seen: make(map[string]fileStamp),
 	}
 }
 
-// scan stamps every .c file directly in the watched directory
-// (non-recursive; a qualifier analysis corpus is one directory of
-// translation units) and reports whether the set differs from the last
-// scan.
+// skipWatchDir reports whether a subdirectory is outside the corpus:
+// hidden, underscore-prefixed, vendored, or test fixtures — the same
+// set the go tool ignores.
+func skipWatchDir(name string) bool {
+	return strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+		name == "vendor" || name == "testdata"
+}
+
+// scan stamps every source file under the watched tree whose extension
+// the active front end claims and reports whether the set differs from
+// the last scan.
 func (w *watcher) scan() (paths []string, changed bool, err error) {
-	entries, err := os.ReadDir(w.dir)
-	if err != nil {
-		return nil, false, err
-	}
 	now := make(map[string]fileStamp)
-	for _, e := range entries {
-		if e.IsDir() || !strings.HasSuffix(e.Name(), ".c") {
-			continue
-		}
-		info, err := e.Info()
+	err = filepath.WalkDir(w.dir, func(path string, d os.DirEntry, err error) error {
 		if err != nil {
-			continue // deleted between ReadDir and Stat; next poll settles it
+			if path == w.dir {
+				return err
+			}
+			return nil // a subtree vanished mid-walk; next poll settles it
 		}
-		path := filepath.Join(w.dir, e.Name())
+		if d.IsDir() {
+			if path != w.dir && skipWatchDir(d.Name()) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		ext := filepath.Ext(d.Name())
+		claimed := false
+		for _, e := range w.exts {
+			if ext == e {
+				claimed = true
+				break
+			}
+		}
+		if !claimed || strings.HasSuffix(d.Name(), "_test.go") {
+			return nil
+		}
+		info, err := d.Info()
+		if err != nil {
+			return nil // deleted between WalkDir and Stat; next poll settles it
+		}
 		now[path] = fileStamp{mod: info.ModTime(), size: info.Size()}
 		paths = append(paths, path)
+		return nil
+	})
+	if err != nil {
+		return nil, false, err
 	}
 	sort.Strings(paths)
 	if len(now) != len(w.seen) {
@@ -171,7 +213,7 @@ func (w *watcher) poll(ctx context.Context) (bool, error) {
 	}
 	w.runs++
 	if len(paths) == 0 {
-		fmt.Fprintf(w.out, "watch: no .c files in %s\n", w.dir)
+		fmt.Fprintf(w.out, "watch: no %s files in %s\n", strings.Join(w.exts, "/"), w.dir)
 		return false, nil
 	}
 	res, err := w.sess.RunDelta(ctx, driver.FileSources(paths...))

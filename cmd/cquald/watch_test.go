@@ -83,6 +83,109 @@ func TestWatcherDeltaCycle(t *testing.T) {
 	}
 }
 
+// TestWatcherRecursiveScan pins that the scanner walks subdirectories
+// but skips the trees the go tool would skip (hidden, underscore,
+// vendor, testdata) and files of other languages.
+func TestWatcherRecursiveScan(t *testing.T) {
+	dir := t.TempDir()
+	writeStamped(t, filepath.Join(dir, "top.c"), watchV1, 1)
+	for _, sub := range []string{"nested", "nested/deeper"} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeStamped(t, filepath.Join(dir, "nested", "mid.c"), "int mid(int x) { return x; }\n", 2)
+	writeStamped(t, filepath.Join(dir, "nested", "deeper", "leaf.c"), "int leaf(int x) { return x; }\n", 3)
+	for _, sub := range []string{"vendor", "testdata", ".hidden", "_skip"} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		writeStamped(t, filepath.Join(dir, sub, "no.c"), "int no(int x) { return x; }\n", 4)
+	}
+	writeStamped(t, filepath.Join(dir, "other.go"), "package p\n", 5)
+
+	w := newWatcher(dir, driver.Config{Jobs: 1}, &strings.Builder{})
+	paths, changed, err := w.scan()
+	if err != nil || !changed {
+		t.Fatalf("scan: changed=%v err=%v", changed, err)
+	}
+	want := []string{
+		filepath.Join(dir, "nested", "deeper", "leaf.c"),
+		filepath.Join(dir, "nested", "mid.c"),
+		filepath.Join(dir, "top.c"),
+	}
+	if len(paths) != len(want) {
+		t.Fatalf("scan found %v, want %v", paths, want)
+	}
+	for i := range want {
+		if paths[i] != want[i] {
+			t.Fatalf("scan found %v, want %v", paths, want)
+		}
+	}
+}
+
+// TestWatcherGoLang pins the -lang go watch path: the scanner claims .go
+// files (skipping tests), and edits delta-solve through the retained
+// session exactly like C.
+func TestWatcherGoLang(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "prog.go")
+	writeStamped(t, path, "package p\n\nfunc get(p *int) int { return *p }\n", 1)
+	writeStamped(t, filepath.Join(dir, "prog_test.go"), "package p\n", 2)
+
+	var out strings.Builder
+	w := newWatcher(dir, driver.Config{Jobs: 1, Lang: "go"}, &out)
+	w.exts = []string{".go"}
+	ctx := context.Background()
+
+	if ran, err := w.poll(ctx); err != nil || !ran {
+		t.Fatalf("first poll: ran=%v err=%v\n%s", ran, err, out.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "1 file(s)") {
+		t.Fatalf("_test.go should be ignored:\n%s", got)
+	}
+	if !strings.Contains(got, "delta: cold solve (first-solve)") {
+		t.Fatalf("first run should cold-solve:\n%s", got)
+	}
+
+	writeStamped(t, path, "package p\n\nfunc get(p *int) int { return *p }\n\nfunc put(p *int) { *p = 1 }\n", 3)
+	out.Reset()
+	if ran, err := w.poll(ctx); err != nil || !ran {
+		t.Fatalf("edit poll: ran=%v err=%v", ran, err)
+	}
+	if !strings.Contains(out.String(), "delta:") {
+		t.Fatalf("edit should report a delta line:\n%s", out.String())
+	}
+}
+
+// TestWatcherEmptyMessage pins that the no-sources message names the
+// front end's actual extensions, not a hard-coded .c.
+func TestWatcherEmptyMessage(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "prog.go")
+	writeStamped(t, path, "package p\n\nfunc id(x int) int { return x }\n", 1)
+
+	var out strings.Builder
+	w := newWatcher(dir, driver.Config{Jobs: 1, Lang: "go"}, &out)
+	w.exts = []string{".go"}
+	ctx := context.Background()
+	if ran, err := w.poll(ctx); err != nil || !ran {
+		t.Fatalf("first poll: ran=%v err=%v", ran, err)
+	}
+
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if ran, err := w.poll(ctx); err != nil || ran {
+		t.Fatalf("empty poll: ran=%v err=%v", ran, err)
+	}
+	if !strings.Contains(out.String(), "no .go files") {
+		t.Fatalf("empty message should name .go:\n%s", out.String())
+	}
+}
+
 // TestWatcherConflictFlow pins that conflicts are printed with their
 // step-by-step flow path, the -watch mode's whole point as a front door.
 func TestWatcherConflictFlow(t *testing.T) {

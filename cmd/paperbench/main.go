@@ -6,7 +6,8 @@
 // Usage:
 //
 //	paperbench [-table1] [-table2] [-figure6] [-simplify] [-polyrec]
-//	           [-delta-vars n] [-delta-rounds n] [-out FILE]
+//	           [-delta-vars n] [-delta-rounds n]
+//	           [-go-self PATTERN] [-go-self-rounds n] [-out FILE]
 //
 // With no selection flags, everything is printed. -out additionally
 // writes the per-benchmark measurements as machine-readable JSON (the
@@ -56,6 +57,23 @@ type deltaJSON struct {
 	Fallbacks     int     `json:"delta_fallbacks"`
 }
 
+// goSelfJSON is the Go self-analysis block of the -out schema: the Go
+// front end analyzing this repository's own packages.
+type goSelfJSON struct {
+	Pattern     string  `json:"pattern"`
+	Files       int     `json:"files"`
+	Functions   int     `json:"functions"`
+	Total       int     `json:"total_positions"`
+	Inferred    int     `json:"inferred_const"`
+	NotConst    int     `json:"not_const"`
+	Constraints int     `json:"constraints"`
+	Vars        int     `json:"vars"`
+	FrontEndMS  float64 `json:"frontend_ms"`
+	ConstrainMS float64 `json:"constrain_ms"`
+	SolveMS     float64 `json:"solve_ms"`
+	TotalMS     float64 `json:"total_ms"`
+}
+
 type benchFile struct {
 	Options struct {
 		Simplify bool `json:"simplify"`
@@ -63,6 +81,7 @@ type benchFile struct {
 	} `json:"options"`
 	Benchmarks []benchJSON `json:"benchmarks"`
 	Delta      *deltaJSON  `json:"delta,omitempty"`
+	GoSelf     *goSelfJSON `json:"go_self,omitempty"`
 }
 
 func main() {
@@ -73,6 +92,8 @@ func main() {
 	polyrec := flag.Bool("polyrec", false, "enable polymorphic recursion in the polymorphic pass")
 	deltaVars := flag.Int("delta-vars", 20000, "warm-session re-solve workload size in variables (0 = skip)")
 	deltaRounds := flag.Int("delta-rounds", 9, "warm-session re-solve measurement rounds (median reported)")
+	goSelf := flag.String("go-self", "", "also run the Go front end over this package pattern (e.g. ./internal/...) and report the self-analysis block")
+	goSelfRounds := flag.Int("go-self-rounds", 3, "Go self-analysis measurement rounds (median reported)")
 	out := flag.String("out", "", "also write the measurements as JSON to this file (e.g. BENCH_5.json)")
 	flag.Parse()
 
@@ -112,19 +133,47 @@ func main() {
 			delta.WarmOverCold*100, d.Hits, d.Fallbacks)
 	}
 
+	var goSelfBlock *goSelfJSON
+	if *goSelf != "" {
+		g, err := experiment.MeasureGoSelf(*goSelf, *goSelfRounds)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "paperbench:", err)
+			os.Exit(1)
+		}
+		goSelfBlock = &goSelfJSON{
+			Pattern:     g.Pattern,
+			Files:       g.Files,
+			Functions:   g.Functions,
+			Total:       g.Total,
+			Inferred:    g.Inferred,
+			NotConst:    g.NotConst,
+			Constraints: g.Constraints,
+			Vars:        g.Vars,
+			FrontEndMS:  g.FrontEnd.Seconds() * 1000,
+			ConstrainMS: g.Constrain.Seconds() * 1000,
+			SolveMS:     g.Solve.Seconds() * 1000,
+			TotalMS:     g.TotalTime.Seconds() * 1000,
+		}
+		fmt.Printf("Go self-analysis (%s): %d files, %d functions, %d positions (%d inferrable const, %d never const), %d constraints; front end %.1fms, constrain %.1fms, solve %.1fms (total %.1fms)\n",
+			g.Pattern, g.Files, g.Functions, g.Total, g.Inferred, g.NotConst,
+			g.Constraints, goSelfBlock.FrontEndMS, goSelfBlock.ConstrainMS,
+			goSelfBlock.SolveMS, goSelfBlock.TotalMS)
+	}
+
 	if *out != "" {
-		if err := writeJSON(*out, opts, results, delta); err != nil {
+		if err := writeJSON(*out, opts, results, delta, goSelfBlock); err != nil {
 			fmt.Fprintln(os.Stderr, "paperbench:", err)
 			os.Exit(1)
 		}
 	}
 }
 
-func writeJSON(path string, opts constinfer.Options, results []*experiment.Result, delta *deltaJSON) error {
+func writeJSON(path string, opts constinfer.Options, results []*experiment.Result, delta *deltaJSON, goSelf *goSelfJSON) error {
 	var f benchFile
 	f.Options.Simplify = opts.Simplify
 	f.Options.PolyRec = opts.PolyRec
 	f.Delta = delta
+	f.GoSelf = goSelf
 	for _, r := range results {
 		f.Benchmarks = append(f.Benchmarks, benchJSON{
 			Name:          r.Config.Name,

@@ -266,6 +266,88 @@ func TestCqualTaint(t *testing.T) {
 	}
 }
 
+// normalizeKappa rewrites solver-variable numbers (κ582) to a fixed
+// token so golden comparisons pin the flow structure, not the
+// allocation order of constraint variables.
+func normalizeKappa(s string) string {
+	var b strings.Builder
+	for i := 0; i < len(s); {
+		if strings.HasPrefix(s[i:], "κ") {
+			b.WriteString("κ#")
+			i += len("κ")
+			for i < len(s) && s[i] >= '0' && s[i] <= '9' {
+				i++
+			}
+			continue
+		}
+		b.WriteByte(s[i])
+		i++
+	}
+	return b.String()
+}
+
+// TestCqualGoTaint: the Go taint examples against their committed
+// golden flow-trace output — the dirty twin reports both injection
+// flows byte-identically at every worker count, the clean twin passes.
+func TestCqualGoTaint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden CLI tests in -short mode")
+	}
+	bin := buildCqual(t)
+	args := []string{"-lang", "go", "-analysis", "taint", "-prelude", "examples/go-taint/go.q"}
+
+	run := func(jobs, pkg string, wantExit int) string {
+		t.Helper()
+		out, err := exec.Command(bin, append(append([]string{"-jobs", jobs}, args...), pkg)...).CombinedOutput()
+		exit := 0
+		if ee, ok := err.(*exec.ExitError); ok {
+			exit = ee.ExitCode()
+		} else if err != nil {
+			t.Fatalf("cqual %s: %v\n%s", pkg, err, out)
+		}
+		if exit != wantExit {
+			t.Fatalf("cqual %s: exit %d, want %d\n%s", pkg, exit, wantExit, out)
+		}
+		return string(out)
+	}
+
+	dirty := run("1", "./examples/go-taint/dirty", 1)
+	golden, err := os.ReadFile("examples/go-taint/expected_dirty.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if normalizeKappa(dirty) != normalizeKappa(string(golden)) {
+		t.Errorf("dirty output drifted from examples/go-taint/expected_dirty.txt\n--- got ---\n%s--- want ---\n%s", dirty, golden)
+	}
+	for _, jobs := range []string{"4", "8"} {
+		if got := run(jobs, "./examples/go-taint/dirty", 1); got != dirty {
+			t.Errorf("-jobs %s differs from -jobs 1 for -lang go\n%s", jobs, got)
+		}
+	}
+
+	clean := run("1", "./examples/go-taint/clean", 0)
+	if !strings.Contains(clean, "0 conflict") && strings.Contains(clean, "conflict(s):") {
+		t.Errorf("clean twin reported conflicts:\n%s", clean)
+	}
+}
+
+// TestCqualGoSelf: the flagship workload — the checker analyzing one of
+// its own packages end to end with non-trivial statistics.
+func TestCqualGoSelf(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden CLI tests in -short mode")
+	}
+	bin := buildCqual(t)
+	out, err := exec.Command(bin, "-lang", "go", "./internal/qual").CombinedOutput()
+	if err != nil {
+		t.Fatalf("self-analysis failed: %v\n%s", err, out)
+	}
+	got := string(out)
+	if !strings.Contains(got, "functions") || strings.Contains(got, " 0 functions") {
+		t.Errorf("self-analysis stats empty or missing:\n%s", got)
+	}
+}
+
 // TestCqualJSON: the -json flag emits a well-formed report.
 func TestCqualJSON(t *testing.T) {
 	if testing.Short() {

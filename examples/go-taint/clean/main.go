@@ -1,0 +1,61 @@
+// The clean twin of ../dirty: the same lookup-and-ping service with
+// the two injection flows closed the standard way — placeholders carry
+// the request data to the database driver, and the ping target is an
+// argv element of a fixed program rather than a fragment of shell
+// text. Run
+//
+//	cqual -lang go -analysis taint -prelude examples/go-taint/go.q ./examples/go-taint/clean
+//
+// and no conflict is reported: tainted data still flows (into the
+// placeholder arguments), but never into a position the prelude marks
+// as a sink.
+package main
+
+import (
+	"database/sql"
+	"fmt"
+	"net/http"
+	"os/exec"
+)
+
+// lookupUser sends constant SQL text; the request data rides in a
+// placeholder argument, which go.q leaves unconstrained.
+func lookupUser(db *sql.DB, r *http.Request) error {
+	name := r.FormValue("name")
+	rows, err := db.Query("SELECT id FROM users WHERE name = ?", name)
+	if err != nil {
+		return err
+	}
+	return rows.Close()
+}
+
+// ping runs a fixed binary with the host as a plain argv element —
+// never interpreted by a shell.
+func ping(r *http.Request) ([]byte, error) {
+	host := r.FormValue("host")
+	return exec.Command("/bin/ping", "-c1", "--", host).CombinedOutput()
+}
+
+func handler(db *sql.DB) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if err := lookupUser(db, r); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		out, err := ping(r)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		fmt.Fprintf(w, "%s", out)
+	}
+}
+
+func main() {
+	db, err := sql.Open("sqlite", "users.db")
+	if err != nil {
+		panic(err)
+	}
+	http.HandleFunc("/lookup", handler(db))
+	_ = http.ListenAndServe("127.0.0.1:8080", nil)
+}

@@ -1,0 +1,60 @@
+// A deliberately vulnerable Go program for the taint analysis: run
+//
+//	cqual -lang go -analysis taint -prelude examples/go-taint/go.q ./examples/go-taint/dirty
+//
+// and every flow below is reported with its step-by-step path from the
+// seeding library call to the violated sink. The clean twin in
+// ../clean does the same work with parameterized queries and a fixed
+// argv, and passes.
+package main
+
+import (
+	"database/sql"
+	"fmt"
+	"net/http"
+	"os/exec"
+)
+
+// lookupUser interpolates request data into SQL text: the classic SQL
+// injection. http.Request.FormValue is a taint seed in go.q;
+// sql.DB.Query requires its query text untainted.
+func lookupUser(db *sql.DB, r *http.Request) error {
+	name := r.FormValue("name")
+	query := "SELECT id FROM users WHERE name = '" + name + "'"
+	rows, err := db.Query(query)
+	if err != nil {
+		return err
+	}
+	return rows.Close()
+}
+
+// ping splices request data into a shell command line: command
+// injection through sh -c.
+func ping(r *http.Request) ([]byte, error) {
+	host := r.FormValue("host")
+	return exec.Command("/bin/sh", "-c", "ping -c1 "+host).CombinedOutput()
+}
+
+func handler(db *sql.DB) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if err := lookupUser(db, r); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		out, err := ping(r)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		fmt.Fprintf(w, "%s", out)
+	}
+}
+
+func main() {
+	db, err := sql.Open("sqlite", "users.db")
+	if err != nil {
+		panic(err)
+	}
+	http.HandleFunc("/lookup", handler(db))
+	_ = http.ListenAndServe("127.0.0.1:8080", nil)
+}

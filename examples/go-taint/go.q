@@ -1,0 +1,30 @@
+# go.q — taint prelude for Go programs: stdlib seeds and sinks.
+#
+# Entry names are dotted for the Go front end: "os.Getenv" is a package
+# function (package short name), "sql.DB.Query" is a method (receiver
+# type with any pointer stripped). Seeds mark library results carrying
+# attacker-controlled data; sinks mark arguments that must never
+# receive it.
+analysis taint
+
+# Environment, command line, and request data are attacker-controlled.
+os.Getenv(_) -> tainted
+http.Request.FormValue(_) -> tainted
+http.Request.PathValue(_) -> tainted
+url.Values.Get(_) -> tainted
+bufio.Reader.ReadString(_) -> tainted
+bufio.Scanner.Text() -> tainted
+
+# SQL text must be clean: use placeholders, not concatenation.
+sql.DB.Query(untainted, ...)
+sql.DB.QueryRow(untainted, ...)
+sql.DB.Exec(untainted, ...)
+sql.Tx.Query(untainted, ...)
+sql.Tx.Exec(untainted, ...)
+
+# Program paths and shell fragments must be clean.
+exec.Command(untainted, untainted, untainted, ...)
+exec.CommandContext(_, untainted, untainted, untainted, ...)
+
+# Outbound request targets must be clean (SSRF).
+http.Get(untainted)

@@ -18,6 +18,10 @@
 // Annotation names are validated against the registered analysis at
 // parse time, so a typo fails at startup rather than silently checking
 // nothing.
+//
+// Function names may be dotted for the Go front end: "os.Getenv" names
+// a package function, "sql.DB.Query" a method (package short name,
+// receiver type with any pointer stripped, method name).
 package analysis
 
 import (
@@ -166,7 +170,7 @@ func parseEntry(line, pos string, target *Analysis) (*Entry, error) {
 		return nil, fmt.Errorf("%s: malformed entry %q (expected fn(...))", pos, line)
 	}
 	fn := strings.TrimSpace(line[:open])
-	if !isIdent(fn) {
+	if !isFuncName(fn) {
 		return nil, fmt.Errorf("%s: malformed function name %q", pos, fn)
 	}
 	closeIdx := strings.IndexByte(line, ')')
@@ -219,6 +223,22 @@ func checkAnn(ann string, target *Analysis, pos, fn string) error {
 			pos, ann, fn, target.Name, strings.Join(target.AnnotationNames(), ", "))
 	}
 	return nil
+}
+
+// isFuncName accepts prelude function names: C identifiers plus the
+// dotted spellings the Go front end looks up ("os.Getenv" for package
+// functions, "sql.DB.Query" for methods). Dots must separate non-empty
+// identifier segments. Annotation names stay plain identifiers.
+func isFuncName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, seg := range strings.Split(s, ".") {
+		if !isIdent(seg) {
+			return false
+		}
+	}
+	return true
 }
 
 func isIdent(s string) bool {

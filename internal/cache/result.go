@@ -11,9 +11,19 @@ import (
 // source texts and the analysis configuration.
 type Key [sha256.Size]byte
 
+// langKey normalizes the config's front-end language for hashing: the
+// empty string and "c" are the same front end and must key identically.
+func langKey(cfg driver.Config) string {
+	if cfg.Lang == "" {
+		return "c"
+	}
+	return cfg.Lang
+}
+
 // RequestKey derives the result-cache key for an analysis request. It
-// hashes the inference mode (poly/polyrec/simplify, the poly-rec
-// iteration bound), the jobs setting, the uninit flag, the selected
+// hashes the front-end language, the inference mode (poly/polyrec/
+// simplify, the poly-rec iteration bound), the jobs setting, the
+// uninit flag, the selected
 // analyses, every prelude's path and text, and every source's path and
 // text, all length-prefixed so concatenations cannot collide. Sources
 // must carry their text: a path-only source would key on the name rather
@@ -21,6 +31,7 @@ type Key [sha256.Size]byte
 // cache changes how fast a result is derived, never what it is.
 func RequestKey(cfg driver.Config, sources []driver.Source) Key {
 	h := sha256.New()
+	fmt.Fprintf(h, "lang:%s;", langKey(cfg))
 	fmt.Fprintf(h, "cfg:%t,%t,%t,%d,%d,%t;",
 		cfg.Options.Poly, cfg.Options.PolyRec, cfg.Options.Simplify,
 		cfg.Options.MaxPolyRecIters, cfg.Jobs, cfg.Uninit)

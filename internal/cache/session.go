@@ -9,14 +9,16 @@ import (
 
 // SessionKey derives the session-store key for a delta re-solve corpus.
 // It hashes everything in the config that shapes the analysis result —
-// the inference mode, the uninit flag, the selected analyses, and every
-// prelude — plus the caller-chosen corpus id. Jobs is deliberately
+// the front-end language, the inference mode, the uninit flag, the
+// selected analyses, and every prelude — plus the caller-chosen corpus
+// id. Jobs is deliberately
 // excluded: results are identical for every pool size, and keying on it
 // would split one logical corpus into per-client sessions. Sources are
 // excluded by construction — diffing successive source versions is the
 // session's whole job.
 func SessionKey(cfg driver.Config, corpus string) string {
 	h := sha256.New()
+	fmt.Fprintf(h, "lang:%s;", langKey(cfg))
 	fmt.Fprintf(h, "cfg:%t,%t,%t,%d,%t;",
 		cfg.Options.Poly, cfg.Options.PolyRec, cfg.Options.Simplify,
 		cfg.Options.MaxPolyRecIters, cfg.Uninit)

@@ -76,6 +76,15 @@ func (a *Analysis) FragmentSpans() []constraint.FragmentSpan {
 	return spans
 }
 
+// FragmentKey hashes one fragment's constraints into a span key. It is
+// exported for other front ends (internal/gofront): every engine that
+// brackets fragments for constraint.Session must satisfy the same "same
+// key ⇒ byte-identical content, variable ids included" contract, so
+// they all share one hash.
+func FragmentKey(tag string, cons []constraint.Constraint) string {
+	return contentKey(tag, cons)
+}
+
 // contentKey hashes one fragment's constraints into its span key.
 func contentKey(tag string, cons []constraint.Constraint) string {
 	h := sha256.New()

@@ -16,10 +16,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"os"
-	"runtime"
 	"strings"
-	"sync"
 	"time"
 
 	"repro/internal/analysis"
@@ -30,8 +27,12 @@ import (
 	"repro/internal/obs"
 )
 
-// Config selects the analysis mode for the C qualifier pipeline.
+// Config selects the front end and analysis mode for the qualifier
+// pipeline.
 type Config struct {
+	// Lang selects the front end ("c", "go"); empty means "c". The
+	// language is part of every cache and session key.
+	Lang string
 	// Options is the inference mode (mono/poly/polyrec/simplify).
 	Options constinfer.Options
 	// Jobs bounds the constraint-generation worker pool; 0 means
@@ -129,11 +130,15 @@ func (t Timings) Total() time.Duration {
 type Result struct {
 	// Config echoes the configuration of the run.
 	Config Config
-	// Files are the parsed translation units (nil entries for sources
-	// that failed to load or parse).
+	// Program is the parsed corpus from the selected front end; nil only
+	// when the run never reached the Parse stage.
+	Program Program
+	// Files are the parsed C translation units (nil entries for sources
+	// that failed to load or parse); nil for non-C front ends.
 	Files []*cfront.File
-	// Analysis is the underlying engine, for callers that need scheme
-	// rendering or other drill-down; nil if the front end failed.
+	// Analysis is the underlying C engine, for callers that need scheme
+	// rendering or other drill-down; nil if the front end failed or the
+	// run used a non-C front end.
 	Analysis *constinfer.Analysis
 	// Report is the classification; nil if the front end failed.
 	Report *constinfer.Report
@@ -201,6 +206,13 @@ func runPipeline(ctx context.Context, cfg Config, sources []Source, sess *Sessio
 	if len(sources) == 0 {
 		return nil, errors.New("driver: no input sources")
 	}
+	fe, err := cfg.frontEnd()
+	if err != nil {
+		return nil, err
+	}
+	if err := fe.Check(cfg); err != nil {
+		return nil, err
+	}
 	res := &Result{Config: cfg}
 	tr := obs.FromContext(ctx)
 	run := tr.Start("driver", "driver.run",
@@ -209,66 +221,49 @@ func runPipeline(ctx context.Context, cfg Config, sources []Source, sess *Sessio
 		obs.Int("sources", len(sources)))
 	defer run.End()
 
-	// Load: read every source, collecting every failure.
+	// Load: resolve every input into file sources, collecting every
+	// failure (a front end may expand one input into many files).
 	sp := tr.Start("driver", "driver.load", obs.Int("sources", len(sources)))
 	start := time.Now()
-	texts := make([]string, len(sources))
-	loadErrs := make([]error, len(sources))
-	for i, s := range sources {
-		if s.Text != "" {
-			texts[i] = s.Text
-			continue
-		}
-		data, err := os.ReadFile(s.Path)
-		if err != nil {
-			loadErrs[i] = err
-			continue
-		}
-		texts[i] = string(data)
-	}
+	files, loadErrs := fe.Load(sources)
 	res.Timings.Load = time.Since(start)
 	sp.End()
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 
-	// Parse: concurrent across files; one span brackets the concurrent
-	// section (per-file spans would make traces scheduling-dependent).
-	sp = tr.Start("driver", "driver.parse", obs.Int("files", len(sources)))
+	// Parse: the front end parses the loaded files (concurrently if it
+	// chooses); one span brackets the whole stage (per-file spans would
+	// make traces scheduling-dependent).
+	sp = tr.Start("driver", "driver.parse", obs.Int("files", len(files)))
 	start = time.Now()
-	files := make([]*cfront.File, len(sources))
-	parseErrs := make([]error, len(sources))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for i := range sources {
-		if loadErrs[i] != nil || ctx.Err() != nil {
-			continue
-		}
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			files[i], parseErrs[i] = cfront.Parse(sources[i].Path, texts[i])
-		}(i)
-	}
-	wg.Wait()
+	prog, parseErrs := fe.Parse(ctx, files, loadErrs)
 	res.Timings.Parse = time.Since(start)
-	res.Files = files
+	res.Program = prog
+	if cp, ok := prog.(*CProgram); ok {
+		res.Files = cp.Files
+	}
 	sp.End()
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 
 	// Front-end diagnostics count toward the Report stage, so the stage
-	// timings sum to wall clock on the failure path too.
+	// timings sum to wall clock on the failure path too. Load and parse
+	// errors interleave per file, in file order.
 	start = time.Now()
-	for i, s := range sources {
+	for i := range files {
 		if loadErrs[i] != nil {
-			res.Diagnostics = append(res.Diagnostics, loadDiagnostic(s.Path, loadErrs[i]))
+			res.Diagnostics = append(res.Diagnostics, loadDiagnostic(files[i].Path, loadErrs[i]))
 		} else if parseErrs[i] != nil {
-			res.Diagnostics = append(res.Diagnostics, parseDiagnostic(s.Path, parseErrs[i]))
+			res.Diagnostics = append(res.Diagnostics, parseDiagnostic(files[i].Path, parseErrs[i]))
 		}
+	}
+	// Front ends may attach non-fatal notes to the parsed program (the Go
+	// front end downgrades type-check problems to warnings so analysis
+	// always proceeds).
+	if n, ok := prog.(interface{ Notes() []Diagnostic }); ok && n != nil {
+		res.Diagnostics = append(res.Diagnostics, n.Notes()...)
 	}
 	res.Timings.Report += time.Since(start)
 	if res.HasErrors() {
@@ -281,14 +276,14 @@ func runPipeline(ctx context.Context, cfg Config, sources []Source, sess *Sessio
 	return res, nil
 }
 
-// RunFiles executes the pipeline over already-parsed files, skipping the
-// Load and Parse stages. It is used when the same parse is analyzed in
-// several modes (the experiment's mono and poly passes).
+// RunFiles executes the pipeline over already-parsed C files, skipping
+// the Load and Parse stages. It is used when the same parse is analyzed
+// in several modes (the experiment's mono and poly passes).
 func RunFiles(cfg Config, files []*cfront.File) (*Result, error) {
 	if len(files) == 0 {
 		return nil, errors.New("driver: no input files")
 	}
-	res := &Result{Config: cfg, Files: files}
+	res := &Result{Config: cfg, Files: files, Program: &CProgram{Files: files}}
 	if err := runAnalysis(context.Background(), cfg, res, nil); err != nil {
 		return nil, err
 	}
@@ -296,8 +291,8 @@ func RunFiles(cfg Config, files []*cfront.File) (*Result, error) {
 }
 
 // runAnalysis drives the Build → Constrain → Solve → Classify stages and
-// the optional initialization check over res.Files, checking ctx at each
-// stage boundary.
+// the optional initialization check over res.Program, checking ctx at
+// each stage boundary.
 func runAnalysis(ctx context.Context, cfg Config, res *Result, sess *Session) error {
 	tr := obs.FromContext(ctx)
 	sp := tr.Start("driver", "driver.build")
@@ -315,13 +310,10 @@ func runAnalysis(ctx context.Context, cfg Config, res *Result, sess *Session) er
 		sp.End()
 		return nil
 	}
-	opts := cfg.Options
-	opts.Suite = suite
-	a := constinfer.NewAnalysis(res.Files, opts)
-	if cfg.Summaries != nil {
-		a.SetSummaryCache(cfg.Summaries)
+	a := res.Program.NewEngine(cfg, suite)
+	if ca, ok := a.(*constinfer.Analysis); ok {
+		res.Analysis = ca
 	}
-	res.Analysis = a
 
 	a.Prepare()
 	res.Timings.Build = time.Since(start)

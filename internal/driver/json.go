@@ -9,8 +9,11 @@ import (
 // derived from the internal structs.
 
 type jsonOutput struct {
-	Files       []string         `json:"files"`
-	Mode        string           `json:"mode"`
+	Files []string `json:"files"`
+	// Lang is present only for non-C front ends, so C output is
+	// byte-identical to earlier schema versions.
+	Lang string `json:"lang,omitempty"`
+	Mode string `json:"mode"`
 	Analyses    []string         `json:"analyses"`
 	Summary     *jsonSummary     `json:"summary,omitempty"`
 	Positions   []jsonPosition   `json:"positions,omitempty"`
@@ -129,10 +132,16 @@ func (r *Result) JSON() ([]byte, error) {
 		Analyses:    r.Config.AnalysisNames(),
 		Diagnostics: []jsonDiagnostic{},
 	}
+	if lang := r.Config.Lang; lang != "" && lang != "c" {
+		out.Lang = lang
+	}
 	for _, f := range r.Files {
 		if f != nil {
 			out.Files = append(out.Files, f.Name)
 		}
+	}
+	if out.Files == nil && r.Program != nil {
+		out.Files = r.Program.FileNames()
 	}
 	if rep := r.Report; rep != nil {
 		out.Summary = &jsonSummary{

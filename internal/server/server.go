@@ -302,6 +302,12 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 // texts plus the cqual mode flags.
 type AnalyzeRequest struct {
 	Sources []SourceJSON `json:"sources"`
+	// Lang selects the front end ("c", "go"); empty means "c". Unknown
+	// languages are rejected with 400. With lang "go" the sources are
+	// .go file texts analyzed together as one package (package patterns
+	// are a local-filesystem concept; the server analyzes
+	// request-supplied texts only).
+	Lang string `json:"lang,omitempty"`
 	// Poly/PolyRec/Simplify/Uninit mirror the cqual flags.
 	Poly     bool `json:"poly,omitempty"`
 	PolyRec  bool `json:"polyrec,omitempty"`
@@ -417,8 +423,13 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		}
 		sources[i] = driver.Source{Path: src.Path, Text: src.Text}
 	}
-	// Unknown analysis names are a client error, answered before any
-	// cache lookup or pipeline work.
+	// Unknown languages and analysis names are client errors, answered
+	// before any cache lookup or pipeline work.
+	if _, ok := driver.LookupFrontEnd(req.Lang); !ok {
+		s.fail(w, http.StatusBadRequest, "unknown language %q (registered: %s)",
+			req.Lang, strings.Join(driver.FrontEndLangs(), ", "))
+		return
+	}
 	for _, name := range req.Analyses {
 		if _, ok := analysis.Lookup(name); !ok {
 			s.fail(w, http.StatusBadRequest, "unknown analysis %q (registered: %s)",
@@ -431,6 +442,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		preludes[i] = driver.PreludeFile{Path: p.Path, Text: p.Text}
 	}
 	cfg := driver.Config{
+		Lang: req.Lang,
 		Options: constinfer.Options{
 			Poly:     req.Poly || req.PolyRec,
 			PolyRec:  req.PolyRec,
