@@ -38,6 +38,14 @@
 // byte-identical to what -json would print here — goes to stdout. Exit
 // status matches -json: 1 on qualifier conflicts, 2 on front-end or
 // transport failure.
+//
+// With -lint the run reports vet-style findings instead of the
+// experiment summary: one "file:line:col: analysis: message" line per
+// diagnostic (-json switches to a findings array with stable rule
+// ids). -baseline FILE suppresses the findings recorded in a committed
+// baseline — itself just an earlier `-lint -json` output — so CI can
+// gate on *new* findings only (the repository's own gate runs the Go
+// front end over ./internal/... against lint-baseline.json).
 package main
 
 import (
@@ -61,7 +69,7 @@ import (
 	"repro/internal/server"
 )
 
-const usage = "usage: cqual [-lang c|go] [-analysis LIST] [-prelude FILES] [-poly] [-polyrec] [-simplify] [-v] [-json] [-stats] [-trace FILE] [-serve URL] file.c ... | ./pkg/..."
+const usage = "usage: cqual [-lang c|go] [-analysis LIST] [-prelude FILES] [-poly] [-polyrec] [-simplify] [-v] [-json] [-stats] [-lint] [-baseline FILE] [-trace FILE] [-serve URL] file.c ... | ./pkg/..."
 
 func main() {
 	lang := flag.String("lang", "c", "source language / front end (see driver.FrontEndLangs: c, go)")
@@ -80,6 +88,8 @@ func main() {
 	analysisFlag := flag.String("analysis", "const", "comma-separated qualifier analyses to run together (see -analyses)")
 	preludeFlag := flag.String("prelude", "", "comma-separated prelude files declaring library seeds and sinks")
 	listAnalyses := flag.Bool("analyses", false, "list the registered qualifier analyses and exit")
+	lint := flag.Bool("lint", false, "vet-style output: one finding per line (with -json, a findings array with stable rule ids)")
+	baselineFlag := flag.String("baseline", "", "with -lint, suppress findings recorded in this baseline file (a previous `-lint -json` output)")
 	flag.Parse()
 
 	if *listAnalyses {
@@ -120,9 +130,17 @@ func main() {
 		preludes = append(preludes, driver.PreludeFile{Path: path, Text: string(text)})
 	}
 
+	if *baselineFlag != "" && !*lint {
+		fmt.Fprintln(os.Stderr, "cqual: -baseline only applies with -lint")
+		os.Exit(2)
+	}
 	if *serve != "" {
 		if *traceFile != "" {
 			fmt.Fprintln(os.Stderr, "cqual: -trace records the local pipeline and cannot be combined with -serve (use the daemon's ?trace=1 instead)")
+			os.Exit(2)
+		}
+		if *lint {
+			fmt.Fprintln(os.Stderr, "cqual: -lint renders findings from the local pipeline and cannot be combined with -serve")
 			os.Exit(2)
 		}
 		os.Exit(runRemote(*serve, remoteOptions{
@@ -163,6 +181,9 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cqual:", err)
 		os.Exit(2)
+	}
+	if *lint {
+		os.Exit(runLint(res, *baselineFlag, *jsonOut))
 	}
 	if res.Report == nil {
 		// Front-end failure: every load/parse error has a diagnostic.
@@ -269,6 +290,47 @@ func main() {
 	}
 }
 
+// runLint renders the run as vet-style findings and returns the exit
+// status: 0 clean, 1 new findings, 2 front-end failure. A baseline, if
+// given, suppresses its recorded findings from both the text output
+// and the exit status; `-json` always emits the full findings array
+// (so redirecting it refreshes the baseline) while the exit status
+// still honors the baseline.
+func runLint(res *driver.Result, baselinePath string, jsonOut bool) int {
+	findings := driver.Findings(res)
+	shown := findings
+	if baselinePath != "" {
+		base, err := driver.LoadBaseline(baselinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cqual:", err)
+			return 2
+		}
+		shown = base.New(findings)
+	}
+	if jsonOut {
+		if err := driver.WriteLintJSON(os.Stdout, findings); err != nil {
+			fmt.Fprintln(os.Stderr, "cqual:", err)
+			return 2
+		}
+	} else {
+		for _, f := range shown {
+			fmt.Println(f.String())
+		}
+		if baselinePath != "" {
+			fmt.Fprintf(os.Stderr, "cqual: %d new finding(s), %d suppressed by baseline %s\n",
+				len(shown), len(findings)-len(shown), baselinePath)
+		}
+	}
+	switch {
+	case res.Report == nil:
+		return 2
+	case len(shown) > 0:
+		return 1
+	default:
+		return 0
+	}
+}
+
 // splitList splits a comma-separated flag value, trimming blanks.
 func splitList(s string) []string {
 	var out []string
@@ -281,7 +343,7 @@ func splitList(s string) []string {
 }
 
 // printAnalyses lists the registry for -analyses: every analysis with
-// its qualifier, lattice sign, prelude expectations, and annotation
+// its qualifier, lattice shape, prelude expectations, and annotation
 // vocabulary.
 func printAnalyses() {
 	for _, name := range analysis.Names() {
@@ -294,12 +356,24 @@ func printAnalyses() {
 		if a.Qual.NegName != "" {
 			qualifier += " (absence: " + a.Qual.NegName + ")"
 		}
+		// The two-point component lattice, bottom first: a positive
+		// qualifier's presence is its top (¬const ⊑ const), a negative
+		// qualifier's presence is its bottom (untainted ⊑ tainted).
+		absent := a.Qual.NegName
+		if absent == "" {
+			absent = "¬" + a.Qual.Name
+		}
+		bottom, top := absent, a.Qual.Name
+		if a.Qual.Sign == qual.Negative {
+			bottom, top = a.Qual.Name, absent
+		}
 		prelude := "optional"
 		if a.WantsPrelude {
 			prelude = "recommended (seeds and sinks come from -prelude)"
 		}
 		fmt.Printf("%s — %s\n", a.Name, a.Doc)
 		fmt.Printf("  qualifier:   %s, %s\n", qualifier, sign)
+		fmt.Printf("  lattice:     %s ⊑ %s (two-point, one component of the product lattice)\n", bottom, top)
 		fmt.Printf("  prelude:     %s\n", prelude)
 		var anns []string
 		for _, n := range a.AnnotationNames() {

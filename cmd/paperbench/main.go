@@ -7,7 +7,8 @@
 //
 //	paperbench [-table1] [-table2] [-figure6] [-simplify] [-polyrec]
 //	           [-delta-vars n] [-delta-rounds n]
-//	           [-go-self PATTERN] [-go-self-rounds n] [-out FILE]
+//	           [-go-self PATTERN] [-go-self-rounds n]
+//	           [-new-analyses] [-out FILE]
 //
 // With no selection flags, everything is printed. -out additionally
 // writes the per-benchmark measurements as machine-readable JSON (the
@@ -25,9 +26,16 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"sort"
+	"time"
 
 	"repro/internal/constinfer"
+	"repro/internal/driver"
 	"repro/internal/experiment"
+
+	// The -new-analyses Go corpus goes through the Go front end.
+	_ "repro/internal/gofront"
 )
 
 // benchJSON is the -out schema: one record per benchmark, mirroring the
@@ -74,14 +82,30 @@ type goSelfJSON struct {
 	TotalMS     float64 `json:"total_ms"`
 }
 
+// newAnalysisJSON is one -new-analyses measurement: an expansion-pack
+// analysis (or the combined four-analysis pass) over its seeded example
+// corpus, with the planted-conflict count and the shared-solver stats.
+type newAnalysisJSON struct {
+	Name        string   `json:"name"`
+	Lang        string   `json:"lang"`
+	Analyses    []string `json:"analyses"`
+	Conflicts   int      `json:"conflicts"`
+	Vars        int      `json:"vars"`
+	Constraints int      `json:"constraints"`
+	MaskClasses int      `json:"mask_classes"`
+	SolveMS     float64  `json:"solve_ms"`
+	TotalMS     float64  `json:"total_ms"`
+}
+
 type benchFile struct {
 	Options struct {
 		Simplify bool `json:"simplify"`
 		PolyRec  bool `json:"polyrec"`
 	} `json:"options"`
-	Benchmarks []benchJSON `json:"benchmarks"`
-	Delta      *deltaJSON  `json:"delta,omitempty"`
-	GoSelf     *goSelfJSON `json:"go_self,omitempty"`
+	Benchmarks  []benchJSON       `json:"benchmarks"`
+	Delta       *deltaJSON        `json:"delta,omitempty"`
+	GoSelf      *goSelfJSON       `json:"go_self,omitempty"`
+	NewAnalyses []newAnalysisJSON `json:"new_analyses,omitempty"`
 }
 
 func main() {
@@ -94,6 +118,8 @@ func main() {
 	deltaRounds := flag.Int("delta-rounds", 9, "warm-session re-solve measurement rounds (median reported)")
 	goSelf := flag.String("go-self", "", "also run the Go front end over this package pattern (e.g. ./internal/...) and report the self-analysis block")
 	goSelfRounds := flag.Int("go-self-rounds", 3, "Go self-analysis measurement rounds (median reported)")
+	newAnalyses := flag.Bool("new-analyses", false, "also measure the expansion-pack analyses (unique, fdstate, and the combined four-analysis pass) over the seeded example corpora")
+	newAnalysesRounds := flag.Int("new-analyses-rounds", 3, "expansion-pack measurement rounds (median reported)")
 	out := flag.String("out", "", "also write the measurements as JSON to this file (e.g. BENCH_5.json)")
 	flag.Parse()
 
@@ -160,20 +186,131 @@ func main() {
 			goSelfBlock.SolveMS, goSelfBlock.TotalMS)
 	}
 
+	var newAnalysesBlock []newAnalysisJSON
+	if *newAnalyses {
+		var err error
+		newAnalysesBlock, err = measureNewAnalyses(*newAnalysesRounds)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "paperbench:", err)
+			os.Exit(1)
+		}
+		for _, r := range newAnalysesBlock {
+			fmt.Printf("New analysis %s (%s): %d conflict(s), %d vars, %d constraints, %d mask class(es); solve %.3fms (total %.1fms)\n",
+				r.Name, r.Lang, r.Conflicts, r.Vars, r.Constraints, r.MaskClasses, r.SolveMS, r.TotalMS)
+		}
+	}
+
 	if *out != "" {
-		if err := writeJSON(*out, opts, results, delta, goSelfBlock); err != nil {
+		if err := writeJSON(*out, opts, results, delta, goSelfBlock, newAnalysesBlock); err != nil {
 			fmt.Fprintln(os.Stderr, "paperbench:", err)
 			os.Exit(1)
 		}
 	}
 }
 
-func writeJSON(path string, opts constinfer.Options, results []*experiment.Result, delta *deltaJSON, goSelf *goSelfJSON) error {
+// measureNewAnalyses runs the expansion-pack corpora through the shared
+// pipeline: each analysis alone over its seeded example, then const,
+// taint, unique, and fdstate together in one constraint pass over the
+// union of the C corpora. Timings are medians over rounds; counts come
+// from the (deterministic) first run.
+func measureNewAnalyses(rounds int) ([]newAnalysisJSON, error) {
+	prelude := func(path string) (driver.PreludeFile, error) {
+		data, err := os.ReadFile(path)
+		return driver.PreludeFile{Path: path, Text: string(data)}, err
+	}
+	uq, err1 := prelude("examples/unique-c/unique.q")
+	fq, err2 := prelude("examples/fdstate/fd.q")
+	gq, err3 := prelude("examples/go-fdstate/fd.q")
+	tq, err4 := prelude("examples/taint-c/taint.q")
+	for _, err := range []error{err1, err2, err3, err4} {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	taintC, err := filepath.Glob("examples/taint-c/*.c")
+	if err != nil || len(taintC) == 0 {
+		return nil, fmt.Errorf("taint corpus missing: %v (%d files)", err, len(taintC))
+	}
+	sort.Strings(taintC)
+
+	runs := []struct {
+		name string
+		cfg  driver.Config
+		srcs []driver.Source
+	}{
+		{"unique-c",
+			driver.Config{Jobs: 1, Analyses: []string{"unique"}, Preludes: []driver.PreludeFile{uq}},
+			driver.FileSources("examples/unique-c/registry.c")},
+		{"fdstate-c",
+			driver.Config{Jobs: 1, Analyses: []string{"fdstate"}, Preludes: []driver.PreludeFile{fq}},
+			driver.FileSources("examples/fdstate/server.c")},
+		{"go-fdstate",
+			driver.Config{Jobs: 1, Lang: "go", Analyses: []string{"fdstate"}, Preludes: []driver.PreludeFile{gq}},
+			driver.FileSources("./examples/go-fdstate/dirty")},
+		{"combined-c",
+			driver.Config{Jobs: 1, Analyses: []string{"const", "taint", "unique", "fdstate"},
+				Preludes: []driver.PreludeFile{tq, uq, fq}},
+			driver.FileSources(append(append([]string{}, taintC...),
+				"examples/unique-c/registry.c", "examples/fdstate/server.c")...)},
+	}
+
+	var out []newAnalysisJSON
+	for _, r := range runs {
+		var solves, totals []time.Duration
+		var first *driver.Result
+		for i := 0; i < rounds; i++ {
+			res, err := driver.Run(r.cfg, r.srcs)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %v", r.name, err)
+			}
+			if res.Report == nil {
+				return nil, fmt.Errorf("%s: run failed: %v", r.name, res.Errors())
+			}
+			if first == nil {
+				first = res
+			}
+			solves = append(solves, res.Timings.Solve)
+			totals = append(totals, res.Timings.Total())
+		}
+		conflicts := 0
+		for _, d := range first.Diagnostics {
+			if d.Code == "qualifier-conflict" {
+				conflicts++
+			}
+		}
+		lang := r.cfg.Lang
+		if lang == "" {
+			lang = "c"
+		}
+		out = append(out, newAnalysisJSON{
+			Name:        r.name,
+			Lang:        lang,
+			Analyses:    r.cfg.AnalysisNames(),
+			Conflicts:   conflicts,
+			Vars:        first.Solver.Vars,
+			Constraints: first.Solver.Constraints,
+			MaskClasses: first.Solver.MaskClasses,
+			SolveMS:     median(solves).Seconds() * 1000,
+			TotalMS:     median(totals).Seconds() * 1000,
+		})
+	}
+	return out, nil
+}
+
+// median returns the middle duration (lower middle for even counts).
+func median(ds []time.Duration) time.Duration {
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	return ds[(len(ds)-1)/2]
+}
+
+func writeJSON(path string, opts constinfer.Options, results []*experiment.Result, delta *deltaJSON, goSelf *goSelfJSON, newAnalyses []newAnalysisJSON) error {
 	var f benchFile
 	f.Options.Simplify = opts.Simplify
 	f.Options.PolyRec = opts.PolyRec
 	f.Delta = delta
 	f.GoSelf = goSelf
+	f.NewAnalyses = newAnalyses
 	for _, r := range results {
 		f.Benchmarks = append(f.Benchmarks, benchJSON{
 			Name:          r.Config.Name,

@@ -243,13 +243,18 @@ func TestCqualTaint(t *testing.T) {
 		}
 	}
 
-	// The registry listing names both built-in analyses and their
-	// vocabularies.
+	// The registry listing names every built-in analysis with its
+	// vocabulary and lattice shape.
 	list, err := exec.Command(bin, "-analyses").CombinedOutput()
 	if err != nil {
 		t.Fatalf("cqual -analyses: %v\n%s", err, list)
 	}
-	for _, want := range []string{"const", "taint", "tainted (seed)", "untainted (sink)", "negative"} {
+	for _, want := range []string{
+		"const", "taint", "unique", "fdstate",
+		"tainted (seed)", "untainted (sink)", "negative",
+		"borrowed (borrow)", "closed (seed)",
+		"untainted ⊑ tainted", "unique ⊑ shared", "open ⊑ closed", "¬const ⊑ const",
+	} {
 		if !strings.Contains(string(list), want) {
 			t.Errorf("-analyses listing missing %q:\n%s", want, list)
 		}
@@ -261,7 +266,7 @@ func TestCqualTaint(t *testing.T) {
 	if !ok || exit.ExitCode() != 2 {
 		t.Fatalf("cqual -analysis leak: want exit 2, got %v\n%s", err, out2)
 	}
-	if !strings.Contains(string(out2), `unknown analysis "leak" (registered: const, taint)`) {
+	if !strings.Contains(string(out2), `unknown analysis "leak" (registered: const, fdstate, taint, unique)`) {
 		t.Errorf("unknown-analysis error not helpful:\n%s", out2)
 	}
 }
@@ -564,5 +569,256 @@ func TestCqualAllParseErrors(t *testing.T) {
 		if !strings.Contains(string(out), want) {
 			t.Errorf("error for %s not reported:\n%s", want, out)
 		}
+	}
+}
+
+// TestCqualUniqueC: the uniqueness analysis over its C example corpus
+// against the committed golden flow traces. Three planted violations
+// (aliased mutation, consuming a shared buffer, mutation after the
+// conservative escape) are reported; the borrowing function recovers
+// and stays clean.
+func TestCqualUniqueC(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden CLI tests in -short mode")
+	}
+	bin := buildCqual(t)
+	args := []string{"-analysis", "unique", "-prelude", "examples/unique-c/unique.q", "examples/unique-c/registry.c"}
+
+	run := func(jobs string) string {
+		t.Helper()
+		out, err := exec.Command(bin, append([]string{"-jobs", jobs}, args...)...).CombinedOutput()
+		exit, ok := err.(*exec.ExitError)
+		if !ok || exit.ExitCode() != 1 {
+			t.Fatalf("want exit 1 on planted violations, got %v\n%s", err, out)
+		}
+		return string(out)
+	}
+	out := run("1")
+	golden, err := os.ReadFile("examples/unique-c/expected.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if normalizeKappa(out) != normalizeKappa(string(golden)) {
+		t.Errorf("output drifted from examples/unique-c/expected.txt\n--- got ---\n%s--- want ---\n%s", out, golden)
+	}
+	// The recovery rule: borrow_then_free writes and frees its buffer
+	// after a borrow and must NOT be reported.
+	if strings.Contains(out, "borrow_then_free") || !strings.Contains(out, "3 qualifier conflict(s):") {
+		t.Errorf("recovery rule failed (borrowed call must not escape):\n%s", out)
+	}
+	for _, jobs := range []string{"4", "8"} {
+		if got := run(jobs); got != out {
+			t.Errorf("-jobs %s differs from -jobs 1\n%s", jobs, got)
+		}
+	}
+}
+
+// TestCqualFdstateC: the fd-state analysis over its C example corpus
+// against the committed golden flow traces — a use-after-close and a
+// returned closed descriptor, each with its flow through the close
+// site; the delegated-close function stays clean.
+func TestCqualFdstateC(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden CLI tests in -short mode")
+	}
+	bin := buildCqual(t)
+	args := []string{"-analysis", "fdstate", "-prelude", "examples/fdstate/fd.q", "examples/fdstate/server.c"}
+
+	run := func(jobs string) string {
+		t.Helper()
+		out, err := exec.Command(bin, append([]string{"-jobs", jobs}, args...)...).CombinedOutput()
+		exit, ok := err.(*exec.ExitError)
+		if !ok || exit.ExitCode() != 1 {
+			t.Fatalf("want exit 1 on planted violations, got %v\n%s", err, out)
+		}
+		return string(out)
+	}
+	out := run("1")
+	golden, err := os.ReadFile("examples/fdstate/expected.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if normalizeKappa(out) != normalizeKappa(string(golden)) {
+		t.Errorf("output drifted from examples/fdstate/expected.txt\n--- got ---\n%s--- want ---\n%s", out, golden)
+	}
+	if strings.Contains(out, "copy_request") || !strings.Contains(out, "returned from stale_handle") {
+		t.Errorf("leak-on-return or clean-discipline check failed:\n%s", out)
+	}
+	for _, jobs := range []string{"4", "8"} {
+		if got := run(jobs); got != out {
+			t.Errorf("-jobs %s differs from -jobs 1\n%s", jobs, got)
+		}
+	}
+}
+
+// TestCqualGoFdstate: the Go fd-state examples against their committed
+// golden flow traces — receiver annotations ("recv: closed") seed and
+// sink through os.File methods; the clean twin delegates Close and
+// passes.
+func TestCqualGoFdstate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden CLI tests in -short mode")
+	}
+	bin := buildCqual(t)
+	args := []string{"-lang", "go", "-analysis", "fdstate", "-prelude", "examples/go-fdstate/fd.q"}
+
+	run := func(jobs, pkg string, wantExit int) string {
+		t.Helper()
+		out, err := exec.Command(bin, append(append([]string{"-jobs", jobs}, args...), pkg)...).CombinedOutput()
+		exit := 0
+		if ee, ok := err.(*exec.ExitError); ok {
+			exit = ee.ExitCode()
+		} else if err != nil {
+			t.Fatalf("cqual %s: %v\n%s", pkg, err, out)
+		}
+		if exit != wantExit {
+			t.Fatalf("cqual %s: exit %d, want %d\n%s", pkg, exit, wantExit, out)
+		}
+		return string(out)
+	}
+
+	dirty := run("1", "./examples/go-fdstate/dirty", 1)
+	golden, err := os.ReadFile("examples/go-fdstate/expected_dirty.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if normalizeKappa(dirty) != normalizeKappa(string(golden)) {
+		t.Errorf("dirty output drifted from examples/go-fdstate/expected_dirty.txt\n--- got ---\n%s--- want ---\n%s", dirty, golden)
+	}
+	for _, want := range []string{
+		`receiver of "os.File.Read" must be open`,
+		`receiver of "os.File.Close" is closed`,
+		"returned from repro/examples/go-fdstate/dirty.staleHandle",
+	} {
+		if !strings.Contains(dirty, want) {
+			t.Errorf("dirty output missing %q:\n%s", want, dirty)
+		}
+	}
+	for _, jobs := range []string{"4", "8"} {
+		if got := run(jobs, "./examples/go-fdstate/dirty", 1); got != dirty {
+			t.Errorf("-jobs %s differs from -jobs 1\n%s", jobs, got)
+		}
+	}
+	run("1", "./examples/go-fdstate/clean", 0)
+}
+
+// TestCqualLint: lint mode renders findings as
+// "file:line:col: analysis: message", emits stable rule ids in JSON,
+// and the baseline turns the exit status incremental — the dogfood
+// gate's negative test: a synthetic new conflict fails the run even
+// under the old baseline.
+func TestCqualLint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden CLI tests in -short mode")
+	}
+	bin := buildCqual(t)
+	dir := t.TempDir()
+	src := filepath.Join(dir, "app.c")
+	if err := os.WriteFile(src, []byte(`extern char *getenv(char *name);
+extern int system(const char *cmd);
+int run(void) {
+    char *cmd = getenv("CMD");
+    return system(cmd);
+}
+`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	args := []string{"-analysis", "taint", "-prelude", "examples/taint-c/taint.q"}
+
+	// Plain lint: one finding line per conflict, vet-shaped, exit 1.
+	out, err := exec.Command(bin, append(append([]string{"-lint"}, args...), src)...).CombinedOutput()
+	if exit, ok := err.(*exec.ExitError); !ok || exit.ExitCode() != 1 {
+		t.Fatalf("cqual -lint: want exit 1, got %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "app.c:5:19: taint: qualifier {tainted} does not fit under bound {untainted}") {
+		t.Errorf("lint line not in file:line:col: analysis: message form:\n%s", out)
+	}
+
+	// JSON findings carry the stable rule id; redirected output is the
+	// baseline file format.
+	baseline := filepath.Join(dir, "lint-baseline.json")
+	jout, err := exec.Command(bin, append(append([]string{"-lint", "-json"}, args...), src)...).Output()
+	if exit, ok := err.(*exec.ExitError); !ok || exit.ExitCode() != 1 {
+		t.Fatalf("cqual -lint -json: want exit 1, got %v\n%s", err, jout)
+	}
+	if !strings.Contains(string(jout), `"rule": "taint-conflict"`) {
+		t.Errorf("lint JSON missing stable rule id:\n%s", jout)
+	}
+	if err := os.WriteFile(baseline, jout, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Under the baseline the same findings are suppressed: exit 0.
+	out, err = exec.Command(bin, append(append([]string{"-lint", "-baseline", baseline}, args...), src)...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("cqual -lint -baseline: want exit 0 on baselined findings, got %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "0 new finding(s), 1 suppressed") {
+		t.Errorf("baseline summary missing:\n%s", out)
+	}
+
+	// The negative test: a synthetic new conflict must fail the gate.
+	if err := os.WriteFile(src, []byte(`extern char *getenv(char *name);
+extern int system(const char *cmd);
+extern int printf(const char *fmt);
+int run(void) {
+    char *cmd = getenv("CMD");
+    return system(cmd);
+}
+int shout(void) {
+    char *msg = getenv("MSG");
+    return printf(msg);
+}
+`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err = exec.Command(bin, append(append([]string{"-lint", "-baseline", baseline}, args...), src)...).CombinedOutput()
+	if exit, ok := err.(*exec.ExitError); !ok || exit.ExitCode() != 1 {
+		t.Fatalf("baseline gate: want exit 1 on a new conflict, got %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), `"printf" must be untainted`) || strings.Contains(string(out), `"system" must be untainted`) {
+		t.Errorf("gate must report exactly the new finding (printf), suppressing the baselined one (system):\n%s", out)
+	}
+}
+
+// TestCqualGoPolyError: -lang go -poly names the limitation and where
+// its resolution is tracked instead of a bare rejection.
+func TestCqualGoPolyError(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden CLI tests in -short mode")
+	}
+	bin := buildCqual(t)
+	out, err := exec.Command(bin, "-lang", "go", "-poly", "./examples/go-taint/clean").CombinedOutput()
+	exit, ok := err.(*exec.ExitError)
+	if !ok || exit.ExitCode() != 2 {
+		t.Fatalf("cqual -lang go -poly: want exit 2, got %v\n%s", err, out)
+	}
+	for _, want := range []string{"monomorphic", "ROADMAP item 3"} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("-lang go -poly error missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestCqualDogfood is the CI dogfood gate run locally: cqual analyzes
+// this repository's own internal packages through the Go front end,
+// and the committed lint-baseline.json must account for every finding.
+// If this fails after an intentional change, regenerate with:
+//
+//	go run ./cmd/cqual -lang go -lint -json -analysis const,taint \
+//	    -prelude examples/go-taint/go.q ./internal/... > lint-baseline.json
+func TestCqualDogfood(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden CLI tests in -short mode")
+	}
+	bin := buildCqual(t)
+	out, err := exec.Command(bin, "-lang", "go", "-lint",
+		"-analysis", "const,taint", "-prelude", "examples/go-taint/go.q",
+		"-baseline", "lint-baseline.json", "./internal/...").CombinedOutput()
+	if err != nil {
+		t.Fatalf("dogfood gate failed — new findings over lint-baseline.json (see test doc to refresh): %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "0 new finding(s)") {
+		t.Errorf("gate summary missing:\n%s", out)
 	}
 }

@@ -1,0 +1,14 @@
+# fd.q — prelude for the fd-state analysis over examples/fdstate.
+#
+# open produces a live handle; close releases it ("closed" seeds the
+# closed qualifier); read and write demand a handle that is still open
+# ("open" sinks). The checker is flow-insensitive: a descriptor closed
+# anywhere is may-closed everywhere it flows, so the verifiable clean
+# discipline is to keep close downstream of every use (e.g. delegated
+# to a shutdown helper).
+analysis fdstate
+
+open(_, _) -> fresh
+close(closed)
+read(open, _, _)
+write(open, _, _)

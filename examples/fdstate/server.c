@@ -1,0 +1,46 @@
+/* server.c — file-descriptor state over the fd.q prelude: run
+ *
+ *     cqual -analysis fdstate -prelude examples/fdstate/fd.q examples/fdstate/server.c
+ *
+ * Two planted violations (use-after-close, returning a closed
+ * descriptor) and one clean function showing the discipline the
+ * flow-insensitive checker verifies: close stays downstream of every
+ * use. */
+
+extern int open(const char *path, int flags);
+extern int close(int fd);
+extern long read(int fd, char *buf, long n);
+extern long write(int fd, char *buf, long n);
+extern char *alloc(int n);
+
+/* BAD: the descriptor is read after a path closed it. */
+long use_after_close(void) {
+    int fd = open("/tmp/req", 0);
+    char *buf = alloc(64);
+    close(fd);
+    return read(fd, buf, 64);
+}
+
+/* BAD: returning a may-closed descriptor hands the caller a stale
+ * handle (and a double-close waiting to happen). */
+int stale_handle(void) {
+    int fd = open("/tmp/state", 0);
+    close(fd);
+    return fd;
+}
+
+/* Closing delegated to a helper: the caller's descriptor flows into
+ * shutdown_fd but the closed qualifier does not flow back. */
+void shutdown_fd(int fd) {
+    close(fd);
+}
+
+/* GOOD: every read happens before the descriptor reaches the
+ * closer, and the returned byte count is not the handle. */
+long copy_request(void) {
+    int src = open("/tmp/in", 0);
+    char *buf = alloc(64);
+    long n = read(src, buf, 64);
+    shutdown_fd(src);
+    return n;
+}

@@ -1,0 +1,43 @@
+// The clean twin of ../dirty: same work, but Close stays downstream
+// of every read — delegated to finish, so the closed qualifier never
+// flows back to the reading code — and no closed handle escapes.
+//
+//	cqual -lang go -analysis fdstate -prelude examples/go-fdstate/fd.q ./examples/go-fdstate/clean
+//
+// exits 0.
+package main
+
+import (
+	"fmt"
+	"os"
+)
+
+// finish owns the end of the handle's life; callers hand their file
+// over and never touch it again.
+func finish(f *os.File) {
+	f.Close()
+}
+
+func readConfig(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 512)
+	n, err := f.Read(buf)
+	if err != nil {
+		finish(f)
+		return nil, err
+	}
+	finish(f)
+	return buf[:n], nil
+}
+
+func main() {
+	b, err := readConfig("config.toml")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("%d bytes\n", len(b))
+}

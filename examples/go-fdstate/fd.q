@@ -1,0 +1,18 @@
+# fd.q — fd-state prelude for Go programs: os.File open/closed state.
+#
+# Entry names are dotted for the Go front end ("os.Open" is a package
+# function, "os.File.Close" a method with any receiver pointer
+# stripped). Method entries annotate their receiver with "recv:" in
+# the first position: Close releases the receiver, Read and Write
+# demand it still open. The checker is flow-insensitive — a handle
+# closed anywhere is may-closed everywhere it flows — so the clean
+# discipline keeps Close downstream of every use.
+analysis fdstate
+
+os.Open(_) -> fresh
+os.Create(_) -> fresh
+
+os.File.Close(recv: closed)
+os.File.Read(recv: open, _)
+os.File.Write(recv: open, _)
+os.File.WriteString(recv: open, _)

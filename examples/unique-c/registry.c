@@ -1,0 +1,50 @@
+/* registry.c — uniqueness through a buffer registry: run
+ *
+ *     cqual -analysis unique -prelude examples/unique-c/unique.q examples/unique-c/registry.c
+ *
+ * Three planted violations (aliased mutation, consuming a shared
+ * buffer, mutation after a conservative escape) and one clean function
+ * showing the recovery rule: borrowing keeps the buffer unique. */
+
+extern char *make_buffer(int n);
+extern void register_buffer(char *b);
+extern int buffer_len(char *b);
+extern void free_buffer(char *b);
+
+/* BAD: register_buffer retains an alias, so the later write through
+ * the buffer is an aliased mutation. */
+int escape_then_write(void) {
+    char *b = make_buffer(64);
+    register_buffer(b);
+    b[0] = 1;
+    return 0;
+}
+
+/* BAD: a registered (shared) buffer must not be consumed as unique —
+ * its registry alias would dangle. */
+int escape_then_free(void) {
+    char *b = make_buffer(64);
+    register_buffer(b);
+    free_buffer(b);
+    return 0;
+}
+
+/* BAD: publish has no prototype and no prelude entry, so the
+ * conservative escape rule assumes it retains its argument. */
+int implicit_escape_then_write(void) {
+    char *b = make_buffer(64);
+    publish(b);
+    b[0] = 1;
+    return 0;
+}
+
+/* GOOD: borrowing is the recovery rule — buffer_len only uses the
+ * buffer for the call, so it stays unique and may still be mutated
+ * and consumed. */
+int borrow_then_free(void) {
+    char *b = make_buffer(64);
+    int n = buffer_len(b);
+    b[0] = 1;
+    free_buffer(b);
+    return n;
+}

@@ -1,0 +1,23 @@
+# unique.q — prelude for the uniqueness analysis over examples/unique-c.
+#
+# The vocabulary maps Giannini et al.'s reference capabilities onto
+# call boundaries: "aliased" positions escape into the callee (shared
+# from here on), "owned" positions consume their argument (only a
+# unique value may be handed over), and "borrowed" positions are the
+# recovery rule — the callee uses the value only for the duration of
+# the call, so the caller keeps its uniqueness.
+analysis unique
+
+# A fresh buffer is unique to its creator.
+make_buffer(_) -> fresh
+
+# Registering retains the buffer in a global table: it is aliased
+# (shared) from here on.
+register_buffer(aliased)
+
+# Measuring only reads the buffer for the call: a borrow.
+buffer_len(borrowed)
+
+# Freeing consumes the buffer: freeing a shared one leaves its other
+# aliases dangling.
+free_buffer(owned)

@@ -13,11 +13,13 @@
 // single constraint pass, separated by the per-component masks the
 // solver already supports.
 //
-// Two instances ship with the registry: "const" (the paper's Section 4
-// const inference, a positive qualifier) and "taint" (tainted ⊑
+// Four instances ship with the registry: "const" (the paper's Section
+// 4 const inference, a positive qualifier), "taint" (tainted ⊑
 // untainted, a negative qualifier whose seeds and sinks come entirely
 // from a prelude file — e.g. getenv returns tainted, the printf format
-// argument must be untainted).
+// argument must be untainted), "unique" (unique ⊑ shared with an
+// escape/recovery rule at call boundaries; see unique.go) and
+// "fdstate" (an open/closed resource checker; see fdstate.go).
 package analysis
 
 import (
@@ -45,6 +47,12 @@ const (
 	// it must fit under the pinned value (e.g. "the printf format
 	// argument must be untainted").
 	Sink
+	// Borrow emits no constraint at all; its entire effect is that the
+	// prelude entry covers the function, suppressing the analysis's
+	// conservative LibRef rule for the call. It is the recovery rule at
+	// call boundaries (Giannini et al.): a borrowed position is used
+	// for the duration of the call and handed back unchanged.
+	Borrow
 )
 
 func (k AnnKind) String() string {
@@ -53,6 +61,8 @@ func (k AnnKind) String() string {
 		return "seed"
 	case Sink:
 		return "sink"
+	case Borrow:
+		return "borrow"
 	default:
 		return fmt.Sprintf("AnnKind(%d)", int(k))
 	}
@@ -100,6 +110,11 @@ type Hooks struct {
 	// library function's parameter or argument, applied only when no
 	// prelude entry covers the function for this analysis.
 	LibRef func(sys *constraint.System, b *Binding, use LibUse, q constraint.Term)
+	// Return is applied to every value returned from a function defined
+	// in the analyzed corpus (e.g. fd-state upper-bounds returned
+	// handles away from closed, so a may-closed descriptor escaping to
+	// the caller is flagged at the return site).
+	Return func(sys *constraint.System, b *Binding, ret constraint.Term, why constraint.Reason)
 }
 
 // Analysis describes one registered qualifier analysis.
@@ -200,8 +215,9 @@ func (b *Binding) Entry(fn string) (*Entry, bool) {
 
 // Apply adds the constraint an annotation denotes on term t: Seed
 // annotations lower-bound it with the pinned value, Sink annotations
-// upper-bound it. Names outside the vocabulary are a no-op (the prelude
-// parser already rejects them; Apply stays total).
+// upper-bound it, Borrow annotations add nothing (covering the entry
+// is their whole effect). Names outside the vocabulary are a no-op
+// (the prelude parser already rejects them; Apply stays total).
 func (b *Binding) Apply(sys *constraint.System, name string, t constraint.Term, why constraint.Reason) {
 	ann, ok := b.A.Annotations[name]
 	if !ok {
@@ -226,12 +242,16 @@ func (b *Binding) Apply(sys *constraint.System, name string, t constraint.Term, 
 }
 
 // annVerb phrases an annotation for provenance messages: sinks are
-// obligations, seeds are facts.
+// obligations, seeds are facts, borrows are neither.
 func annVerb(k AnnKind) string {
-	if k == Sink {
+	switch k {
+	case Sink:
 		return "must be"
+	case Borrow:
+		return "is only"
+	default:
+		return "is"
 	}
-	return "is"
 }
 
 // ApplyParam applies the prelude annotation for argument i (0-based) of
@@ -250,6 +270,25 @@ func (b *Binding) ApplyParam(sys *constraint.System, ent *Entry, i int, t constr
 	why := constraint.Reason{
 		Pos: pos,
 		Msg: fmt.Sprintf("argument %d of %q %s %s (prelude %s)", i+1, ent.Func, annVerb(ann.Kind), name, ent.Pos),
+	}
+	b.Apply(sys, name, t, why)
+}
+
+// ApplyRecv applies the entry's receiver annotation (`recv: ann`, Go
+// method entries) to the receiver value at a call site; pos is the
+// call's source position. Entries without one are left unconstrained.
+func (b *Binding) ApplyRecv(sys *constraint.System, ent *Entry, t constraint.Term, pos string) {
+	name := ent.Recv
+	if name == "" || name == Wildcard {
+		return
+	}
+	ann, ok := b.A.Annotations[name]
+	if !ok {
+		return
+	}
+	why := constraint.Reason{
+		Pos: pos,
+		Msg: fmt.Sprintf("receiver of %q %s %s (prelude %s)", ent.Func, annVerb(ann.Kind), name, ent.Pos),
 	}
 	b.Apply(sys, name, t, why)
 }

@@ -8,10 +8,11 @@ import (
 	"repro/internal/qual"
 )
 
-// The two built-in analyses. const is the paper's Section 4 experiment;
-// taint is the second instance proving the framework claim: same
-// engine, different lattice orientation, seeds and sinks supplied by a
-// prelude file instead of source syntax.
+// The first two built-in analyses (unique and fdstate live in their
+// own files). const is the paper's Section 4 experiment; taint is the
+// second instance proving the framework claim: same engine, different
+// lattice orientation, seeds and sinks supplied by a prelude file
+// instead of source syntax.
 func init() {
 	Register(&Analysis{
 		Name: "const",

@@ -21,7 +21,16 @@
 //
 // Function names may be dotted for the Go front end: "os.Getenv" names
 // a package function, "sql.DB.Query" a method (package short name,
-// receiver type with any pointer stripped, method name).
+// receiver type with any pointer stripped, method name). A method
+// entry may annotate its receiver with a "recv:" prefix in the first
+// parameter position:
+//
+//	analysis fdstate
+//	os.File.Close(recv: closes)     # closing marks the receiver
+//	os.File.Read(recv: live, _)     # reading demands it still open
+//
+// The remaining positions then count the declared (non-receiver)
+// parameters, exactly as for plain functions.
 package analysis
 
 import (
@@ -42,6 +51,9 @@ type Entry struct {
 	Params []string
 	// Variadic allows extra arguments beyond Params, unconstrained.
 	Variadic bool
+	// Recv is the receiver annotation of a Go method entry ("recv: ann"
+	// in the first parameter position), or empty.
+	Recv string
 	// Result is the result annotation, or empty.
 	Result string
 	// Pos is "path:line" of the entry, for provenance in diagnostics.
@@ -180,13 +192,25 @@ func parseEntry(line, pos string, target *Analysis) (*Entry, error) {
 	ent := &Entry{Func: fn, Pos: pos}
 	args := strings.TrimSpace(line[open+1 : closeIdx])
 	if args != "" {
-		for i, field := range strings.Split(args, ",") {
+		fields := strings.Split(args, ",")
+		for i, field := range fields {
 			ann := strings.TrimSpace(field)
 			if ann == "..." {
-				if i != len(strings.Split(args, ","))-1 {
+				if i != len(fields)-1 {
 					return nil, fmt.Errorf(`%s: "..." must be the last parameter of %q`, pos, fn)
 				}
 				ent.Variadic = true
+				continue
+			}
+			if rest, ok := strings.CutPrefix(ann, "recv:"); ok {
+				if i != 0 {
+					return nil, fmt.Errorf(`%s: "recv:" must be the first parameter of %q`, pos, fn)
+				}
+				ann = strings.TrimSpace(rest)
+				if err := checkAnn(ann, target, pos, fn); err != nil {
+					return nil, err
+				}
+				ent.Recv = ann
 				continue
 			}
 			if err := checkAnn(ann, target, pos, fn); err != nil {

@@ -48,6 +48,45 @@ system(untainted)
 	}
 }
 
+// TestParsePreludeMixedNames: one prelude may mix plain C names with
+// the Go front end's dotted package and method names — the parser
+// treats a name as opaque, so "close" and "os.File.Close" coexist and
+// receiver annotations parse alongside positional ones.
+func TestParsePreludeMixedNames(t *testing.T) {
+	text := `analysis fdstate
+open(_, _) -> fresh
+close(closed)
+os.Open(_) -> fresh
+os.File.Close(recv: closed)
+os.File.Read(recv: open, _)
+`
+	p, err := ParsePrelude("fd.q", text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"open", "close", "os.Open", "os.File.Close", "os.File.Read"}
+	if strings.Join(p.Funcs, ",") != strings.Join(want, ",") {
+		t.Errorf("Funcs = %v, want %v", p.Funcs, want)
+	}
+
+	cl := p.Entries["close"]
+	if cl.Recv != "" || len(cl.Params) != 1 || cl.Params[0] != "closed" {
+		t.Errorf("close entry = %+v", cl)
+	}
+	mc := p.Entries["os.File.Close"]
+	if mc.Recv != "closed" || len(mc.Params) != 0 {
+		t.Errorf("os.File.Close entry = %+v (recv annotation must not count as a parameter)", mc)
+	}
+	mr := p.Entries["os.File.Read"]
+	if mr.Recv != "open" || len(mr.Params) != 1 || mr.Params[0] != Wildcard {
+		t.Errorf("os.File.Read entry = %+v", mr)
+	}
+	oo := p.Entries["os.Open"]
+	if oo.Recv != "" || oo.Result != "fresh" {
+		t.Errorf("os.Open entry = %+v", oo)
+	}
+}
+
 func TestParsePreludeErrors(t *testing.T) {
 	cases := []struct {
 		name, text, wantErr string
@@ -66,6 +105,11 @@ func TestParsePreludeErrors(t *testing.T) {
 		{"mid dots", "analysis taint\nprintf(..., untainted)\n", `"..." must be the last parameter`},
 		{"trailing junk", "analysis taint\ngetenv(_) tainted\n", `unexpected trailing`},
 		{"duplicate entry", "analysis taint\ngetenv(_)\ngetenv(_)\n", `p.q:3: duplicate entry for "getenv" (previous at p.q:2)`},
+		{"recv not first", "analysis fdstate\nos.File.Read(_, recv: open)\n",
+			`"recv:" must be the first parameter`},
+		{"recv unknown ann", "analysis fdstate\nos.File.Close(recv: sealed)\n",
+			`unknown annotation "sealed"`},
+		{"recv empty", "analysis fdstate\nos.File.Close(recv:)\n", `p.q:2: malformed annotation ""`},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -110,6 +154,11 @@ func FuzzParsePrelude(f *testing.F) {
 	f.Add("# only a comment")
 	f.Add("analysis taint\n\xff\xfe(\x00)\n")
 	f.Add("analysis taint\nf(tainted, ..., untainted)\n")
+	f.Add("analysis unique\nmake_buffer(_) -> fresh\nregister_buffer(aliased)\nbuffer_len(borrowed)\nfree_buffer(owned)\n")
+	f.Add("analysis fdstate\nopen(_, _) -> fresh\nclose(closed)\nread(open, _, _)\n")
+	f.Add("analysis fdstate\nos.Open(_) -> fresh\nos.File.Close(recv: closed)\nos.File.Read(recv: open, _)\n")
+	f.Add("analysis fdstate\nos.File.Read(_, recv: open)\n")
+	f.Add("analysis unique\nf(recv: borrowed, ...)\ng(recv:aliased)\n")
 	f.Fuzz(func(t *testing.T, text string) {
 		p, err := ParsePrelude("f.q", text)
 		if err != nil {
@@ -127,7 +176,8 @@ func FuzzParsePrelude(f *testing.F) {
 			if e == nil || e.Func != fn {
 				t.Fatalf("entry for %q missing or mislabeled", fn)
 			}
-			for _, ann := range append(append([]string(nil), e.Params...), e.Result) {
+			anns := append(append([]string(nil), e.Params...), e.Result, e.Recv)
+			for _, ann := range anns {
 				if ann == "" || ann == Wildcard {
 					continue
 				}

@@ -96,6 +96,13 @@ func (a *Analysis) stmt(env *env, s cfront.Stmt) {
 		if s.Value != nil && env.fn != nil {
 			rv := a.exprR(env, s.Value)
 			a.tr.subtype(rv, env.fn.sig.Ret, why(s.Pos, "returned value"))
+			if rv != nil {
+				for _, b := range a.suite.Bindings() {
+					if h := b.A.Hooks.Return; h != nil {
+						h(a.sys, b, rv.Q, why(s.Pos, "returned from "+env.fn.name))
+					}
+				}
+			}
 		}
 	case *cfront.BreakStmt, *cfront.ContinueStmt, *cfront.GotoStmt:
 	case *cfront.LabelStmt:
@@ -368,7 +375,7 @@ func (a *Analysis) exprR(env *env, e cfront.Expr) *RType {
 			a.exprR(env, e.L)
 			return rv
 		}
-		a.forbidWrite(lv, why(e.Pos, "assignment target must not be const"))
+		a.forbidWrite(lv, why(e.Pos, "assignment target is written"))
 		if e.Op == cfront.PlainAssign {
 			a.tr.subtype(rv, lv.ref.Elem, why(e.Pos, "assigned value"))
 		}
@@ -497,13 +504,13 @@ func (a *Analysis) exprR(env *env, e cfront.Expr) *RType {
 	}
 }
 
-// mutate handles ++/--: the target cell must not be const.
+// mutate handles ++/--: the target cell is written through.
 func (a *Analysis) mutate(env *env, x cfront.Expr, pos cfront.Pos, what string) *RType {
 	lv := a.exprL(env, x)
 	if lv == nil {
 		return a.exprR(env, x)
 	}
-	a.forbidWrite(lv, why(pos, what+" target must not be const"))
+	a.forbidWrite(lv, why(pos, what+" target is written"))
 	return lv.ref.Elem
 }
 

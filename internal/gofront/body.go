@@ -296,6 +296,13 @@ func (bc *bodyCtx) returnStmt(s *ast.ReturnStmt) {
 		if i < len(bc.fi.sig.rets) {
 			e.tr.subtype(rv, bc.fi.sig.rets[i], e.why(s, "returned from "+bc.fi.name))
 		}
+		if rv != nil {
+			for _, b := range e.suite.Bindings() {
+				if h := b.A.Hooks.Return; h != nil {
+					h(e.sys, b, rv.q, e.why(s, "returned from "+bc.fi.name))
+				}
+			}
+		}
 	}
 }
 

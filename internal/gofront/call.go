@@ -158,7 +158,10 @@ func (bc *bodyCtx) libraryCall(x *ast.CallExpr, obj *types.Func, recvRV *rtype) 
 				b.ApplyResult(en.sys, ent, r.q)
 			}
 			// Prelude parameter positions count declared parameters;
-			// the receiver is not annotatable.
+			// the receiver is annotated separately via "recv:".
+			if recvRV != nil {
+				b.ApplyRecv(en.sys, ent, recvRV.q, en.pos(x).String())
+			}
 			for i, rv := range args {
 				if rv != nil {
 					b.ApplyParam(en.sys, ent, i, rv.q, en.pos(x.Args[i]).String())

@@ -1,0 +1,140 @@
+package gofront_test
+
+// Expansion-pack coverage for the Go front end: the uniqueness
+// analysis (escape via an aliasing library call, recovery through
+// "borrowed") and the fd-state receiver annotations, both driven
+// inline through the shared pipeline.
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/driver"
+)
+
+const goUniquePrelude = `analysis unique
+os.Getenv(_) -> fresh
+os.Setenv(_, aliased)
+os.Unsetenv(owned)
+os.Getwd() -> fresh
+`
+
+// collectConflicts renders the run's qualifier conflicts.
+func collectConflicts(res *driver.Result) []string {
+	var out []string
+	for _, d := range res.Diagnostics {
+		if d.Code == "qualifier-conflict" {
+			out = append(out, d.String())
+		}
+	}
+	return out
+}
+
+// TestGoUniqueFlow: a value seeded fresh escapes through an "aliased"
+// parameter and then reaches an "owned" sink — the conflict carries the
+// flow through the escape site. The clean twin never aliases and
+// passes.
+func TestGoUniqueFlow(t *testing.T) {
+	cfg := driver.Config{
+		Analyses: []string{"unique"},
+		Preludes: []driver.PreludeFile{{Path: "unique.q", Text: goUniquePrelude}},
+	}
+
+	dirty := runGo(t, cfg, map[string]string{"p.go": `package p
+
+import "os"
+
+func recycle() {
+	v := os.Getenv("HOME")
+	os.Setenv("COPY", v)
+	os.Unsetenv(v)
+}
+`})
+	conflicts := collectConflicts(dirty)
+	if len(conflicts) != 1 {
+		t.Fatalf("got %d conflicts, want 1:\n%s", len(conflicts), strings.Join(conflicts, "\n"))
+	}
+	for _, want := range []string{
+		`argument 1 of "os.Unsetenv" must be owned`,
+		`argument 2 of "os.Setenv" is aliased`,
+		"flow:",
+	} {
+		if !strings.Contains(conflicts[0], want) {
+			t.Errorf("conflict missing %q:\n%s", want, conflicts[0])
+		}
+	}
+
+	clean := runGo(t, cfg, map[string]string{"p.go": `package p
+
+import "os"
+
+func handoff() {
+	v := os.Getenv("HOME")
+	os.Unsetenv(v)
+}
+`})
+	if got := collectConflicts(clean); len(got) != 0 {
+		t.Fatalf("clean twin reported conflicts:\n%s", strings.Join(got, "\n"))
+	}
+}
+
+// TestGoFdstateRecv: "recv:" prelude annotations seed and sink method
+// receivers — Close marks the handle may-closed, Read demands it open,
+// and the conflict's flow runs through the Close site.
+func TestGoFdstateRecv(t *testing.T) {
+	cfg := driver.Config{
+		Analyses: []string{"fdstate"},
+		Preludes: []driver.PreludeFile{loadPrelude(t, "../../examples/go-fdstate/fd.q")},
+	}
+
+	dirty := runGo(t, cfg, map[string]string{"p.go": `package p
+
+import "os"
+
+func slurp(name string) int {
+	f, err := os.Open(name)
+	if err != nil {
+		return 0
+	}
+	f.Close()
+	buf := make([]byte, 16)
+	n, _ := f.Read(buf)
+	return n
+}
+`})
+	conflicts := collectConflicts(dirty)
+	if len(conflicts) != 1 {
+		t.Fatalf("got %d conflicts, want 1:\n%s", len(conflicts), strings.Join(conflicts, "\n"))
+	}
+	for _, want := range []string{
+		`receiver of "os.File.Read" must be open`,
+		`receiver of "os.File.Close" is closed`,
+	} {
+		if !strings.Contains(conflicts[0], want) {
+			t.Errorf("conflict missing %q:\n%s", want, conflicts[0])
+		}
+	}
+
+	clean := runGo(t, cfg, map[string]string{"p.go": `package p
+
+import "os"
+
+func finish(f *os.File) {
+	f.Close()
+}
+
+func slurp(name string) int {
+	f, err := os.Open(name)
+	if err != nil {
+		return 0
+	}
+	buf := make([]byte, 16)
+	n, _ := f.Read(buf)
+	finish(f)
+	return n
+}
+`})
+	if got := collectConflicts(clean); len(got) != 0 {
+		t.Fatalf("clean twin reported conflicts:\n%s", strings.Join(got, "\n"))
+	}
+}

@@ -83,6 +83,24 @@ func TestMetricsPrometheus(t *testing.T) {
 	}
 }
 
+// TestMetricsPreregisterAnalyses: every registered analysis — the
+// expansion pack included — has its request counter pre-registered on
+// the lock-free /metrics path before any request names it, so scrapes
+// see a stable series set from the first sample.
+func TestMetricsPreregisterAnalyses(t *testing.T) {
+	ts := httptest.NewServer(New(Config{}))
+	defer ts.Close()
+
+	_, data := getMetrics(t, ts, "text/plain")
+	text := string(data)
+	for _, analysis := range []string{"const", "taint", "unique", "fdstate"} {
+		want := fmt.Sprintf("cquald_analysis_requests_total{analysis=%q} 0", analysis)
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing pre-registered series %q", want)
+		}
+	}
+}
+
 // TestRequestTracing checks the per-request trace path: every analyze
 // response carries an X-Trace-Id, and ?trace=1 retains a Chrome trace
 // retrievable at /v1/traces/<id> while leaving the report body
