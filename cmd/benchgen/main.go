@@ -1,10 +1,17 @@
 // Command benchgen writes the synthetic benchmark suite of the Section
 // 4.4 experiment to disk as C files (substitutes for the paper's GNU
-// packages; see internal/benchgen for what is preserved).
+// packages; see internal/benchgen for what is preserved), or, with
+// -parallel, the large mixed-shape corpus of the parallel-solve
+// benchmark at any target size.
+//
+// Every file is reported with its line and qualifier-variable counts,
+// so the scale of a generated corpus is auditable without re-running
+// the analysis.
 //
 // Usage:
 //
-//	benchgen [-out dir] [-only name]
+//	benchgen [-out dir] [-only name] [-seed n]
+//	benchgen -parallel [-lines n] [-seed n] [-out dir]
 package main
 
 import (
@@ -15,33 +22,64 @@ import (
 	"strings"
 
 	"repro/internal/benchgen"
+	"repro/internal/driver"
 )
 
 func main() {
 	out := flag.String("out", "benchmarks", "output directory")
 	only := flag.String("only", "", "generate a single benchmark by name")
+	seed := flag.Int64("seed", 0, "override the generation seed (0 = each benchmark's default)")
+	parallel := flag.Bool("parallel", false, "generate the parallel-solve corpus instead of the paper suite")
+	lines := flag.Int("lines", 1_000_000, "with -parallel: target line count")
 	flag.Parse()
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fmt.Fprintln(os.Stderr, "benchgen:", err)
 		os.Exit(1)
 	}
-	written := 0
-	for _, cfg := range benchgen.PaperSuite() {
-		if *only != "" && cfg.Name != *only {
-			continue
+	var cfgs []benchgen.Config
+	if *parallel {
+		s := *seed
+		if s == 0 {
+			s = 2001
 		}
+		cfgs = []benchgen.Config{benchgen.ParallelCorpus(*lines, s)}
+	} else {
+		for _, cfg := range benchgen.PaperSuite() {
+			if *only != "" && cfg.Name != *only {
+				continue
+			}
+			if *seed != 0 {
+				cfg.Seed = *seed
+			}
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	written := 0
+	for _, cfg := range cfgs {
 		src := benchgen.Generate(cfg)
 		path := filepath.Join(*out, cfg.Name+".c")
 		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, "benchgen:", err)
 			os.Exit(1)
 		}
-		fmt.Printf("%s: %d lines\n", path, strings.Count(src, "\n"))
+		fmt.Printf("%s: %d lines, %d qualifier vars\n",
+			path, strings.Count(src, "\n"), countVars(path, src))
 		written++
 	}
 	if written == 0 {
 		fmt.Fprintf(os.Stderr, "benchgen: no benchmark named %q\n", *only)
 		os.Exit(1)
 	}
+}
+
+// countVars runs the generated file through the analysis pipeline and
+// reports the size of its constraint system in qualifier variables.
+func countVars(path, src string) int {
+	res, err := driver.Run(driver.Config{}, []driver.Source{driver.TextSource(path, src)})
+	if err != nil || res.HasErrors() {
+		fmt.Fprintf(os.Stderr, "benchgen: %s: generated file does not analyze cleanly\n", path)
+		os.Exit(1)
+	}
+	return res.Solver.Vars
 }

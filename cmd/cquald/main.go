@@ -65,6 +65,7 @@ import (
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8710", "listen address (host:port; port 0 picks a free port)")
 	jobs := flag.Int("jobs", 0, "constraint-generation workers per analysis (0 = GOMAXPROCS)")
+	solveJobs := flag.Int("solve-jobs", 0, "solver workers per analysis (0 = GOMAXPROCS, 1 = sequential; results are identical for every value)")
 	maxConcurrent := flag.Int("max-concurrent", 0, "simultaneous analyses (0 = GOMAXPROCS)")
 	timeout := flag.Duration("timeout", server.DefaultRequestTimeout, "per-request deadline including queue time (negative = none)")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "grace period for draining in-flight requests on SIGINT/SIGTERM")
@@ -91,6 +92,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "cquald: -jobs must be >= 0")
 		os.Exit(2)
 	}
+	if *solveJobs < 0 {
+		fmt.Fprintln(os.Stderr, "cquald: -solve-jobs must be >= 0")
+		os.Exit(2)
+	}
 	if flag.NArg() != 0 {
 		fmt.Fprintln(os.Stderr, "cquald: unexpected arguments; the daemon takes sources over HTTP, not the command line")
 		os.Exit(2)
@@ -99,7 +104,7 @@ func main() {
 	if *watch != "" {
 		os.Exit(runWatchMode(*watch, *watchInterval, watchOptions{
 			poly: *poly, polyrec: *polyrec, simplify: *simplify,
-			uninit: *uninit, jobs: *jobs, lang: *lang,
+			uninit: *uninit, jobs: *jobs, solveJobs: *solveJobs, lang: *lang,
 			analyses: *analysisFlag, preludes: *preludeFlag,
 		}))
 	}
@@ -119,6 +124,7 @@ func main() {
 
 	srv := server.New(server.Config{
 		Jobs:           *jobs,
+		SolveJobs:      *solveJobs,
 		MaxConcurrent:  *maxConcurrent,
 		RequestTimeout: *timeout,
 		ResultEntries:  *resultEntries,

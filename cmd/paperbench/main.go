@@ -8,17 +8,25 @@
 //	paperbench [-table1] [-table2] [-figure6] [-simplify] [-polyrec]
 //	           [-delta-vars n] [-delta-rounds n]
 //	           [-go-self PATTERN] [-go-self-rounds n]
-//	           [-new-analyses] [-out FILE]
+//	           [-new-analyses] [-parallel] [-parallel-lines n] [-out FILE]
 //
 // With no selection flags, everything is printed. -out additionally
 // writes the per-benchmark measurements as machine-readable JSON (the
 // repository tracks them as BENCH_N.json files, one per perf-relevant
-// change, so the trajectory accumulates).
+// change, so the trajectory accumulates). Every measurement block also
+// records its allocation footprint (runtime.ReadMemStats deltas), so
+// memory regressions show up in the same trajectory as time ones.
 //
 // The report also carries a warm-session column: a retained
 // constraint.Session re-solving the -delta-vars cycle-graph workload
 // after a one-fragment edit, against a cold solve of the same system
 // (see experiment.MeasureDelta). -delta-vars 0 disables it.
+//
+// -parallel runs the parallel-solve scaling benchmark: one large
+// benchgen corpus (-parallel-lines, default a million lines) built
+// once, then cold-solved at -solve-jobs 1/2/4/NumCPU (see
+// experiment.MeasureParallel). The block records the solve-time curve
+// and the solver's parallel-execution counters at each point.
 package main
 
 import (
@@ -27,6 +35,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"time"
 
@@ -37,6 +46,30 @@ import (
 	// The -new-analyses Go corpus goes through the Go front end.
 	_ "repro/internal/gofront"
 )
+
+// memJSON is one block's allocation footprint: how much the block's
+// measurement allocated in total (cumulative, survives GC) and where
+// the live heap stood when it finished.
+type memJSON struct {
+	AllocBytes     uint64 `json:"alloc_bytes"`
+	Mallocs        uint64 `json:"mallocs"`
+	HeapInuseBytes uint64 `json:"heap_inuse_bytes"`
+}
+
+// measureMem runs fn between two runtime.ReadMemStats snapshots.
+// TotalAlloc/Mallocs are monotonic, so their deltas attribute
+// allocation to the block even when the GC runs mid-measurement.
+func measureMem(fn func()) memJSON {
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	fn()
+	runtime.ReadMemStats(&after)
+	return memJSON{
+		AllocBytes:     after.TotalAlloc - before.TotalAlloc,
+		Mallocs:        after.Mallocs - before.Mallocs,
+		HeapInuseBytes: after.HeapInuse,
+	}
+}
 
 // benchJSON is the -out schema: one record per benchmark, mirroring the
 // Table 2 columns plus the generated size.
@@ -63,6 +96,7 @@ type deltaJSON struct {
 	WarmOverCold  float64 `json:"warm_over_cold"`
 	Hits          int     `json:"delta_hits"`
 	Fallbacks     int     `json:"delta_fallbacks"`
+	Memory        memJSON `json:"memory"`
 }
 
 // goSelfJSON is the Go self-analysis block of the -out schema: the Go
@@ -80,6 +114,7 @@ type goSelfJSON struct {
 	ConstrainMS float64 `json:"constrain_ms"`
 	SolveMS     float64 `json:"solve_ms"`
 	TotalMS     float64 `json:"total_ms"`
+	Memory      memJSON `json:"memory"`
 }
 
 // newAnalysisJSON is one -new-analyses measurement: an expansion-pack
@@ -95,6 +130,32 @@ type newAnalysisJSON struct {
 	MaskClasses int      `json:"mask_classes"`
 	SolveMS     float64  `json:"solve_ms"`
 	TotalMS     float64  `json:"total_ms"`
+	Memory      memJSON  `json:"memory"`
+}
+
+// parallelPointJSON is one worker count on the parallel-solve curve.
+type parallelPointJSON struct {
+	Jobs            int     `json:"jobs"`
+	SolveMS         float64 `json:"solve_ms"`
+	Workers         int     `json:"workers"`
+	ParallelClasses int     `json:"parallel_classes"`
+	SweepLevels     int     `json:"sweep_levels"`
+	SweepFallbacks  int     `json:"sweep_fallbacks"`
+	CCRegions       int     `json:"cc_regions"`
+	Speedup         float64 `json:"speedup_vs_sequential"`
+}
+
+// parallelJSON is the -parallel block of the -out schema: cold solves
+// of one large generated corpus at increasing solver worker counts.
+type parallelJSON struct {
+	CorpusLines int                 `json:"corpus_lines"`
+	CorpusVars  int                 `json:"corpus_vars"`
+	Constraints int                 `json:"constraints"`
+	MaskClasses int                 `json:"mask_classes"`
+	Rounds      int                 `json:"rounds"`
+	NumCPU      int                 `json:"num_cpus"`
+	Points      []parallelPointJSON `json:"points"`
+	Memory      memJSON             `json:"memory"`
 }
 
 type benchFile struct {
@@ -103,9 +164,11 @@ type benchFile struct {
 		PolyRec  bool `json:"polyrec"`
 	} `json:"options"`
 	Benchmarks  []benchJSON       `json:"benchmarks"`
+	SuiteMemory *memJSON          `json:"suite_memory,omitempty"`
 	Delta       *deltaJSON        `json:"delta,omitempty"`
 	GoSelf      *goSelfJSON       `json:"go_self,omitempty"`
 	NewAnalyses []newAnalysisJSON `json:"new_analyses,omitempty"`
+	Parallel    *parallelJSON     `json:"parallel,omitempty"`
 }
 
 func main() {
@@ -120,11 +183,17 @@ func main() {
 	goSelfRounds := flag.Int("go-self-rounds", 3, "Go self-analysis measurement rounds (median reported)")
 	newAnalyses := flag.Bool("new-analyses", false, "also measure the expansion-pack analyses (unique, fdstate, and the combined four-analysis pass) over the seeded example corpora")
 	newAnalysesRounds := flag.Int("new-analyses-rounds", 3, "expansion-pack measurement rounds (median reported)")
+	parallel := flag.Bool("parallel", false, "also run the parallel-solve scaling benchmark (cold solves at -solve-jobs 1/2/4/NumCPU)")
+	parallelLines := flag.Int("parallel-lines", 1_000_000, "parallel benchmark corpus size in generated lines")
+	parallelRounds := flag.Int("parallel-rounds", 3, "parallel benchmark measurement rounds per worker count (median reported)")
+	parallelSeed := flag.Int64("parallel-seed", 2001, "parallel benchmark corpus generation seed")
 	out := flag.String("out", "", "also write the measurements as JSON to this file (e.g. BENCH_5.json)")
 	flag.Parse()
 
 	opts := constinfer.Options{Simplify: *simplify, PolyRec: *polyrec}
-	results, err := experiment.RunSuite(opts)
+	var results []*experiment.Result
+	var err error
+	suiteMem := measureMem(func() { results, err = experiment.RunSuite(opts) })
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "paperbench:", err)
 		os.Exit(1)
@@ -141,10 +210,28 @@ func main() {
 		fmt.Println(experiment.Figure6(results))
 	}
 
-	var delta *deltaJSON
+	var f benchFile
+	f.Options.Simplify = opts.Simplify
+	f.Options.PolyRec = opts.PolyRec
+	f.SuiteMemory = &suiteMem
+	for _, r := range results {
+		f.Benchmarks = append(f.Benchmarks, benchJSON{
+			Name:          r.Config.Name,
+			Lines:         r.Lines,
+			CompileTimeMS: r.CompileTime.Seconds() * 1000,
+			MonoTimeMS:    r.MonoTime.Seconds() * 1000,
+			PolyTimeMS:    r.PolyTime.Seconds() * 1000,
+			Declared:      r.Declared,
+			Mono:          r.Mono,
+			Poly:          r.Poly,
+			Total:         r.Total,
+		})
+	}
+
 	if *deltaVars > 0 {
-		d := experiment.MeasureDelta(*deltaVars, *deltaRounds)
-		delta = &deltaJSON{
+		var d experiment.DeltaResult
+		mem := measureMem(func() { d = experiment.MeasureDelta(*deltaVars, *deltaRounds) })
+		f.Delta = &deltaJSON{
 			Vars:          d.Vars,
 			Constraints:   d.Constraints,
 			Frags:         d.Frags,
@@ -153,20 +240,21 @@ func main() {
 			WarmOverCold:  d.WarmOverCold(),
 			Hits:          d.Hits,
 			Fallbacks:     d.Fallbacks,
+			Memory:        mem,
 		}
 		fmt.Printf("Delta re-solve (n=%d, %d frags): cold %.3fms, warm %.3fms (%.1f%% of cold), %d hit(s), %d fallback(s)\n",
-			d.Vars, d.Frags, delta.ColdSolveMS, delta.WarmResolveMS,
-			delta.WarmOverCold*100, d.Hits, d.Fallbacks)
+			d.Vars, d.Frags, f.Delta.ColdSolveMS, f.Delta.WarmResolveMS,
+			f.Delta.WarmOverCold*100, d.Hits, d.Fallbacks)
 	}
 
-	var goSelfBlock *goSelfJSON
 	if *goSelf != "" {
-		g, err := experiment.MeasureGoSelf(*goSelf, *goSelfRounds)
+		var g *experiment.GoSelfResult
+		mem := measureMem(func() { g, err = experiment.MeasureGoSelf(*goSelf, *goSelfRounds) })
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "paperbench:", err)
 			os.Exit(1)
 		}
-		goSelfBlock = &goSelfJSON{
+		f.GoSelf = &goSelfJSON{
 			Pattern:     g.Pattern,
 			Files:       g.Files,
 			Functions:   g.Functions,
@@ -179,33 +267,85 @@ func main() {
 			ConstrainMS: g.Constrain.Seconds() * 1000,
 			SolveMS:     g.Solve.Seconds() * 1000,
 			TotalMS:     g.TotalTime.Seconds() * 1000,
+			Memory:      mem,
 		}
 		fmt.Printf("Go self-analysis (%s): %d files, %d functions, %d positions (%d inferrable const, %d never const), %d constraints; front end %.1fms, constrain %.1fms, solve %.1fms (total %.1fms)\n",
 			g.Pattern, g.Files, g.Functions, g.Total, g.Inferred, g.NotConst,
-			g.Constraints, goSelfBlock.FrontEndMS, goSelfBlock.ConstrainMS,
-			goSelfBlock.SolveMS, goSelfBlock.TotalMS)
+			g.Constraints, f.GoSelf.FrontEndMS, f.GoSelf.ConstrainMS,
+			f.GoSelf.SolveMS, f.GoSelf.TotalMS)
 	}
 
-	var newAnalysesBlock []newAnalysisJSON
 	if *newAnalyses {
-		var err error
-		newAnalysesBlock, err = measureNewAnalyses(*newAnalysesRounds)
+		f.NewAnalyses, err = measureNewAnalyses(*newAnalysesRounds)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "paperbench:", err)
 			os.Exit(1)
 		}
-		for _, r := range newAnalysesBlock {
+		for _, r := range f.NewAnalyses {
 			fmt.Printf("New analysis %s (%s): %d conflict(s), %d vars, %d constraints, %d mask class(es); solve %.3fms (total %.1fms)\n",
 				r.Name, r.Lang, r.Conflicts, r.Vars, r.Constraints, r.MaskClasses, r.SolveMS, r.TotalMS)
 		}
 	}
 
+	if *parallel {
+		jobsList := parallelJobsList(runtime.NumCPU())
+		var p experiment.ParallelResult
+		mem := measureMem(func() {
+			p, err = experiment.MeasureParallel(*parallelLines, *parallelSeed, *parallelRounds, jobsList)
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "paperbench:", err)
+			os.Exit(1)
+		}
+		f.Parallel = &parallelJSON{
+			CorpusLines: p.Lines,
+			CorpusVars:  p.Vars,
+			Constraints: p.Constraints,
+			MaskClasses: p.MaskClasses,
+			Rounds:      p.Rounds,
+			NumCPU:      p.NumCPU,
+			Memory:      mem,
+		}
+		fmt.Printf("Parallel solve (%d lines, %d vars, %d constraints, %d mask class(es), %d cpu(s), median of %d):\n",
+			p.Lines, p.Vars, p.Constraints, p.MaskClasses, p.NumCPU, p.Rounds)
+		for _, pt := range p.Points {
+			speedup := p.Speedup(pt)
+			f.Parallel.Points = append(f.Parallel.Points, parallelPointJSON{
+				Jobs:            pt.Jobs,
+				SolveMS:         pt.Solve.Seconds() * 1000,
+				Workers:         pt.Stats.Workers,
+				ParallelClasses: pt.Stats.ParallelClasses,
+				SweepLevels:     pt.Stats.SweepLevels,
+				SweepFallbacks:  pt.Stats.SweepFallbacks,
+				CCRegions:       pt.Stats.CCRegions,
+				Speedup:         speedup,
+			})
+			fmt.Printf("  -solve-jobs %-3d solve %8.1fms  %.2fx  (%d worker(s), %d class(es), %d region(s), %d level sweep(s), %d fallback(s))\n",
+				pt.Jobs, pt.Solve.Seconds()*1000, speedup,
+				pt.Stats.Workers, pt.Stats.ParallelClasses, pt.Stats.CCRegions, pt.Stats.SweepLevels, pt.Stats.SweepFallbacks)
+		}
+	}
+
 	if *out != "" {
-		if err := writeJSON(*out, opts, results, delta, goSelfBlock, newAnalysesBlock); err != nil {
+		if err := writeJSON(*out, f); err != nil {
 			fmt.Fprintln(os.Stderr, "paperbench:", err)
 			os.Exit(1)
 		}
 	}
+}
+
+// parallelJobsList is the measured curve: sequential baseline, 2, 4,
+// and the machine's CPU count, deduplicated and ascending.
+func parallelJobsList(ncpu int) []int {
+	set := map[int]bool{1: true, 2: true, 4: true, ncpu: true}
+	var jobs []int
+	for j := range set {
+		if j >= 1 {
+			jobs = append(jobs, j)
+		}
+	}
+	sort.Ints(jobs)
+	return jobs
 }
 
 // measureNewAnalyses runs the expansion-pack corpora through the shared
@@ -259,19 +399,27 @@ func measureNewAnalyses(rounds int) ([]newAnalysisJSON, error) {
 	for _, r := range runs {
 		var solves, totals []time.Duration
 		var first *driver.Result
-		for i := 0; i < rounds; i++ {
-			res, err := driver.Run(r.cfg, r.srcs)
-			if err != nil {
-				return nil, fmt.Errorf("%s: %v", r.name, err)
+		var runErr error
+		mem := measureMem(func() {
+			for i := 0; i < rounds; i++ {
+				res, err := driver.Run(r.cfg, r.srcs)
+				if err != nil {
+					runErr = fmt.Errorf("%s: %v", r.name, err)
+					return
+				}
+				if res.Report == nil {
+					runErr = fmt.Errorf("%s: run failed: %v", r.name, res.Errors())
+					return
+				}
+				if first == nil {
+					first = res
+				}
+				solves = append(solves, res.Timings.Solve)
+				totals = append(totals, res.Timings.Total())
 			}
-			if res.Report == nil {
-				return nil, fmt.Errorf("%s: run failed: %v", r.name, res.Errors())
-			}
-			if first == nil {
-				first = res
-			}
-			solves = append(solves, res.Timings.Solve)
-			totals = append(totals, res.Timings.Total())
+		})
+		if runErr != nil {
+			return nil, runErr
 		}
 		conflicts := 0
 		for _, d := range first.Diagnostics {
@@ -293,6 +441,7 @@ func measureNewAnalyses(rounds int) ([]newAnalysisJSON, error) {
 			MaskClasses: first.Solver.MaskClasses,
 			SolveMS:     median(solves).Seconds() * 1000,
 			TotalMS:     median(totals).Seconds() * 1000,
+			Memory:      mem,
 		})
 	}
 	return out, nil
@@ -304,26 +453,7 @@ func median(ds []time.Duration) time.Duration {
 	return ds[(len(ds)-1)/2]
 }
 
-func writeJSON(path string, opts constinfer.Options, results []*experiment.Result, delta *deltaJSON, goSelf *goSelfJSON, newAnalyses []newAnalysisJSON) error {
-	var f benchFile
-	f.Options.Simplify = opts.Simplify
-	f.Options.PolyRec = opts.PolyRec
-	f.Delta = delta
-	f.GoSelf = goSelf
-	f.NewAnalyses = newAnalyses
-	for _, r := range results {
-		f.Benchmarks = append(f.Benchmarks, benchJSON{
-			Name:          r.Config.Name,
-			Lines:         r.Lines,
-			CompileTimeMS: r.CompileTime.Seconds() * 1000,
-			MonoTimeMS:    r.MonoTime.Seconds() * 1000,
-			PolyTimeMS:    r.PolyTime.Seconds() * 1000,
-			Declared:      r.Declared,
-			Mono:          r.Mono,
-			Poly:          r.Poly,
-			Total:         r.Total,
-		})
-	}
+func writeJSON(path string, f benchFile) error {
 	data, err := json.MarshalIndent(f, "", "  ")
 	if err != nil {
 		return err

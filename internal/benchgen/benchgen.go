@@ -67,6 +67,18 @@ type Config struct {
 	// IntHelpers is the number of pointer-free helper functions per
 	// group, the bulk of real programs.
 	IntHelpers int
+	// WideHubFrac is the probability a group emits a wide hub: a fan of
+	// one-step flow-through functions all feeding one dispatcher. Hubs
+	// broaden the constraint graph's condensation — many components at
+	// the same topological depth — the shape the solver's
+	// level-parallel sweeps exploit.
+	WideHubFrac float64
+	// DeepChainFrac is the probability a group emits a deep chain of
+	// flow-through functions. Chains deepen the condensation — many
+	// levels with few components each — the adversarial shape for level
+	// parallelism, kept in the mix so the sequential-sweep fallback
+	// stays honest.
+	DeepChainFrac float64
 }
 
 // PaperSuite returns configurations mirroring Table 1 of the paper: the
@@ -102,6 +114,27 @@ func PaperSuite() []Config {
 	}
 }
 
+// ParallelCorpus returns the configuration of the parallel-solve
+// benchmark corpus: a program of about targetLines lines (the
+// headline run uses one million) mixing the paper's shapes with wide
+// hubs and deep chains, so the constraint graph has both the broad
+// condensations the level sweeps exploit and the chain-shaped ones
+// that exercise the sequential fallback. Generation is deterministic
+// per seed and single-pass — the line count is tracked incrementally,
+// so a million-line corpus costs the same per line as a small one.
+func ParallelCorpus(targetLines int, seed int64) Config {
+	return Config{
+		Name:        fmt.Sprintf("synth-%dk", targetLines/1000),
+		Description: "parallel-solve benchmark corpus",
+		TargetLines: targetLines, Seed: seed,
+		ReadersPerGroup: 10, DeclaredConstFrac: 0.5,
+		WritersPerGroup: 4, StructFrac: 0.6,
+		FlowFrac: 0.6, MixedFlowFrac: 0.5,
+		RecursionFrac: 0.12, IntHelpers: 6,
+		WideHubFrac: 0.35, DeepChainFrac: 0.25,
+	}
+}
+
 // Generate produces the benchmark's C source text.
 func Generate(cfg Config) string {
 	if cfg.ReadersPerGroup <= 0 {
@@ -124,18 +157,20 @@ type gen struct {
 	cfg Config
 	rng *rand.Rand
 	b   strings.Builder
+	nl  int // newlines emitted so far; kept incrementally, the builder is never rescanned
 	grp int
 }
 
 func (g *gen) pf(format string, args ...interface{}) {
-	fmt.Fprintf(&g.b, format, args...)
+	s := fmt.Sprintf(format, args...)
+	g.b.WriteString(s)
+	g.nl += strings.Count(s, "\n")
 }
 
 func (g *gen) program() string {
 	g.header()
-	lines := func() int { return strings.Count(g.b.String(), "\n") }
 	var drivers []string
-	for lines() < g.cfg.TargetLines-40 {
+	for g.nl < g.cfg.TargetLines-40 {
 		drivers = append(drivers, g.group())
 	}
 	g.mainFn(drivers)
@@ -232,6 +267,34 @@ func (g *gen) writer(id, k int) string {
 	return name
 }
 
+// wideHub emits a fan of one-step flow-through functions and the
+// dispatcher consuming all of them: w independent κ-chains of depth
+// one, all at the same topological depth in the condensation.
+func (g *gen) wideHub(id int) {
+	r := g.rng
+	w := 8 + r.Intn(9)
+	for k := 0; k < w; k++ {
+		g.pf("static char *pick%d_%d(char *s) {\n\treturn s + (*s ? %d : 0);\n}\n\n", id, k, k%3)
+	}
+	g.pf("static int hub%d(char *s) {\n\tint acc = 0;\n", id)
+	for k := 0; k < w; k++ {
+		g.pf("\tacc += *pick%d_%d(s);\n", id, k)
+	}
+	g.pf("\treturn acc;\n}\n\n")
+}
+
+// deepChain emits a linear chain of flow-through functions: one
+// κ-chain of depth d, a condensation that is all levels and no width.
+func (g *gen) deepChain(id int) {
+	r := g.rng
+	d := 10 + r.Intn(7)
+	g.pf("static char *step%d_0(char *s) {\n\treturn s;\n}\n\n", id)
+	for k := 1; k < d; k++ {
+		g.pf("static char *step%d_%d(char *s) {\n\treturn step%d_%d(s + 1);\n}\n\n", id, k, id, k-1)
+	}
+	g.pf("static int chain%d(char *s) {\n\treturn *step%d_%d(s);\n}\n\n", id, id, d-1)
+}
+
 // group emits one module and returns its driver's name.
 func (g *gen) group() string {
 	id := g.grp
@@ -242,6 +305,8 @@ func (g *gen) group() string {
 	hasFlow := r.Float64() < g.cfg.FlowFrac
 	mixed := hasFlow && r.Float64() < g.cfg.MixedFlowFrac
 	recursive := hasStruct && r.Float64() < g.cfg.RecursionFrac
+	hasHub := r.Float64() < g.cfg.WideHubFrac
+	hasChain := r.Float64() < g.cfg.DeepChainFrac
 
 	var helpers []string
 	for k := 0; k < g.cfg.IntHelpers; k++ {
@@ -281,6 +346,13 @@ func (g *gen) group() string {
 		}
 	}
 
+	if hasHub {
+		g.wideHub(id)
+	}
+	if hasChain {
+		g.deepChain(id)
+	}
+
 	if recursive {
 		g.pf("static int walk%d(struct rec%d *rp, int depth);\n", id, id)
 		g.pf("static int probe%d(struct rec%d *rp, int depth) {\n", id, id)
@@ -317,6 +389,12 @@ func (g *gen) group() string {
 		if mixed {
 			g.pf("\tchop%d(local);\n", id)
 		}
+	}
+	if hasHub {
+		g.pf("\tacc += hub%d(local);\n", id)
+	}
+	if hasChain {
+		g.pf("\tacc += chain%d(local);\n", id)
 	}
 	if hasStruct {
 		g.pf("\trec_set%d(&r, local, n);\n", id)

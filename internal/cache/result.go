@@ -32,9 +32,9 @@ func langKey(cfg driver.Config) string {
 func RequestKey(cfg driver.Config, sources []driver.Source) Key {
 	h := sha256.New()
 	fmt.Fprintf(h, "lang:%s;", langKey(cfg))
-	fmt.Fprintf(h, "cfg:%t,%t,%t,%d,%d,%t;",
+	fmt.Fprintf(h, "cfg:%t,%t,%t,%d,%d,%d,%t;",
 		cfg.Options.Poly, cfg.Options.PolyRec, cfg.Options.Simplify,
-		cfg.Options.MaxPolyRecIters, cfg.Jobs, cfg.Uninit)
+		cfg.Options.MaxPolyRecIters, cfg.Jobs, cfg.SolveJobs, cfg.Uninit)
 	for _, a := range cfg.AnalysisNames() {
 		fmt.Fprintf(h, "an:%d:%s;", len(a), a)
 	}

@@ -1,0 +1,15 @@
+package constraint
+
+// SetParallelMinsForTest lowers the thresholds that gate the parallel
+// class solve, the delta-path class fan-out, the level-parallel
+// sweeps, and the region fan-out, so tests can force those paths onto
+// small systems. It returns a function restoring the previous values.
+// Tests using it must not run with t.Parallel — the thresholds are
+// package state.
+func SetParallelMinsForTest(solveMin, deltaMin, sweepMin, widthMin, chunkMin, regionMin int) func() {
+	pSolve, pDelta, pSweep, pWidth, pChunk, pRegion := parallelSolveMin, deltaParallelMin, levelSweepMin, levelWidthMin, levelChunkMin, ccRegionMin
+	parallelSolveMin, deltaParallelMin, levelSweepMin, levelWidthMin, levelChunkMin, ccRegionMin = solveMin, deltaMin, sweepMin, widthMin, chunkMin, regionMin
+	return func() {
+		parallelSolveMin, deltaParallelMin, levelSweepMin, levelWidthMin, levelChunkMin, ccRegionMin = pSolve, pDelta, pSweep, pWidth, pChunk, pRegion
+	}
+}

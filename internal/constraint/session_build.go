@@ -255,6 +255,14 @@ func (ss *Session) applyDelta(sys *System, frags, added, removed []*sessFrag) (o
 	}
 	st.nlive = sys.n
 
+	// Large edits fan the per-class applications out to a worker pool;
+	// small ones (the -watch loop's common case) stay sequential so the
+	// dispatch overhead never shows up in editor-speed latency.
+	ss.fanWorkers, ss.fanClasses = 1, 0
+	if jobs := effectiveJobs(ss.solveJobs); jobs > 1 && len(st.cls) > 1 && deltaEdges(added, removed) >= deltaParallelMin {
+		return ss.applyDeltaParallel(frags, added, removed, jobs)
+	}
+
 	for _, cs := range st.cls {
 		r, res, dv := cs.applyClassDelta(st, frags, added, removed)
 		if r != "" {
@@ -264,6 +272,19 @@ func (ss *Session) applyDelta(sys *System, frags, added, removed []*sessFrag) (o
 		dirtyVars += dv
 	}
 	return true, "", resolved, dirtyVars
+}
+
+// deltaEdges counts the edge instances an edit touches — the cheap
+// size proxy deciding whether the class fan-out pays.
+func deltaEdges(added, removed []*sessFrag) int {
+	n := 0
+	for _, f := range added {
+		n += len(f.eMask)
+	}
+	for _, f := range removed {
+		n += len(f.eMask)
+	}
+	return n
 }
 
 // applyClassDelta retires the removed fragments' edges and seeds from
@@ -589,14 +610,13 @@ func (cs *classState) assignKeys(st *sessState, inter [][2]int32) (string, []int
 			merged[b] = r
 			for _, v := range cs.members[b] {
 				cs.comp[v] = r
-				st.lower[v] = st.lower[v]&^cs.class | cs.cl[r]
-				st.upper[v] = st.upper[v]&^cs.tc | cs.cu[r]
+				cs.setLower(st, v, cs.cl[r])
+				cs.setUpper(st, v, cs.cu[r])
 			}
 			cs.members[r] = append(cs.members[r], cs.members[b]...)
 			cs.members[b] = nil
 		}
-		st.sccsCollapsed += 1 - multi
-		st.varsCollapsed += (total - 1) - (totalMulti - multi)
+		cs.bumpCollapsed(st, 1-multi, (total-1)-(totalMulti-multi))
 		reps = append(reps, r)
 	}
 
@@ -686,7 +706,7 @@ func (cs *classState) sweep(st *sessState, dirtyLo, dirtyUp *dirtySet) (resolved
 			}
 			cs.cl[c] = nv
 			for _, v := range cs.members[c] {
-				st.lower[v] = st.lower[v]&^cs.class | nv
+				cs.setLower(st, v, nv)
 			}
 			dirtyVars += len(cs.members[c])
 			for _, w := range cs.out[c] {
@@ -726,7 +746,7 @@ func (cs *classState) sweep(st *sessState, dirtyLo, dirtyUp *dirtySet) (resolved
 			}
 			cs.cu[c] = nv
 			for _, v := range cs.members[c] {
-				st.upper[v] = st.upper[v]&^cs.tc | nv
+				cs.setUpper(st, v, nv)
 			}
 			dirtyVars += len(cs.members[c])
 			for _, p := range cs.in[c] {

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/benchgen"
 	"repro/internal/constinfer"
 	"repro/internal/core"
 )
@@ -131,6 +132,64 @@ func TestRunDeterministicAcrossJobs(t *testing.T) {
 			}
 		}
 	}
+}
+
+// TestRunSolveJobsDeterministic pins the solver-parallelism invariant
+// end to end, at the default thresholds: a generated corpus large
+// enough to engage the parallel solve (one mask class, so the region
+// fan-out and the chunked passes carry it, not the class pool) must
+// produce byte-identical reports at every -solve-jobs setting, the
+// execution counters aside.
+func TestRunSolveJobsDeterministic(t *testing.T) {
+	cfg := benchgen.ParallelCorpus(20000, 7)
+	srcs := []Source{TextSource(cfg.Name+".c", benchgen.Generate(cfg))}
+	base, err := Run(Config{SolveJobs: 1}, srcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.HasErrors() {
+		t.Fatalf("corpus does not analyze cleanly: %v", base.Errors())
+	}
+	want := solveJobsCanonicalJSON(t, base)
+	for _, jobs := range []int{2, 8} {
+		got, err := Run(Config{SolveJobs: jobs}, srcs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Solver.Workers <= 1 {
+			t.Fatalf("jobs=%d: parallel solve did not engage: %+v", jobs, got.Solver)
+		}
+		if got.Solver.CCRegions == 0 {
+			t.Fatalf("jobs=%d: region fan-out did not engage on the corpus shape: %+v", jobs, got.Solver)
+		}
+		if g := solveJobsCanonicalJSON(t, got); g != want {
+			t.Errorf("jobs=%d: report diverges from sequential solve", jobs)
+		}
+	}
+}
+
+// solveJobsCanonicalJSON renders the report with timings and the
+// solver's parallel-execution block stripped — the only fields allowed
+// to vary with -solve-jobs.
+func solveJobsCanonicalJSON(t *testing.T, res *Result) string {
+	t.Helper()
+	data, err := res.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	delete(m, "timings")
+	if s, ok := m["solver"].(map[string]any); ok {
+		delete(s, "parallel")
+	}
+	out, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out)
 }
 
 // canonicalJSON renders the report with timings stripped (they are the
