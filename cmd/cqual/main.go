@@ -37,7 +37,11 @@
 // a running cquald daemon at URL and the daemon's JSON report — which is
 // byte-identical to what -json would print here — goes to stdout. Exit
 // status matches -json: 1 on qualifier conflicts, 2 on front-end or
-// transport failure.
+// transport failure. Adding -json splices the daemon's X-Trace-Id into
+// the report as a leading "trace_id" member (the daemon's flight
+// recorder retains failing runs' traces at /v1/traces/<id>); without
+// -json the report stays byte-verbatim and a failing run prints the
+// trace URL as a stderr footer instead.
 //
 // With -lint the run reports vet-style findings instead of the
 // experiment summary: one "file:line:col: analysis: message" line per
@@ -153,8 +157,8 @@ func main() {
 			lang: *lang,
 			poly: *poly, polyrec: *polyrec, simplify: *simplify || *schemes,
 			uninit: *uninit, jobs: *jobs, solveJobs: *solveJobs,
-			analyses: analyses, preludes: preludes,
-		}, flag.Args()))
+			analyses: analyses, preludes: preludes, jsonOut: *jsonOut,
+		}, flag.Args(), os.Stdout, os.Stderr))
 	}
 
 	cfg := driver.Config{
@@ -396,6 +400,7 @@ type remoteOptions struct {
 	jobs, solveJobs                 int
 	analyses                        []string
 	preludes                        []driver.PreludeFile
+	jsonOut                         bool
 }
 
 // runRemote is the -serve client: it reads the files locally, POSTs them
@@ -404,7 +409,13 @@ type remoteOptions struct {
 // or transport failure) so scripts can swap -serve in and out. With
 // -lang go the arguments must be .go files (the daemon analyzes
 // request-supplied texts as one package; package patterns are local).
-func runRemote(base string, opts remoteOptions, paths []string) int {
+//
+// The daemon's X-Trace-Id names the flight-recorder trace it kept (or
+// may have kept) for this request. With -json it is spliced into the
+// report as a leading "trace_id" member; without -json the report
+// stays byte-verbatim (scripts diff it), and a failing run instead
+// points at the retained trace in a stderr footer.
+func runRemote(base string, opts remoteOptions, paths []string, stdout, stderr io.Writer) int {
 	lang := opts.lang
 	if lang == "c" {
 		lang = "" // the wire default; keeps C requests byte-identical
@@ -425,32 +436,39 @@ func runRemote(base string, opts remoteOptions, paths []string) int {
 	for _, p := range paths {
 		text, err := os.ReadFile(p)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "cqual:", err)
+			fmt.Fprintln(stderr, "cqual:", err)
 			return 2
 		}
 		req.Sources = append(req.Sources, server.SourceJSON{Path: p, Text: string(text)})
 	}
 	body, err := json.Marshal(req)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "cqual:", err)
+		fmt.Fprintln(stderr, "cqual:", err)
 		return 2
 	}
-	resp, err := http.Post(strings.TrimRight(base, "/")+"/v1/analyze", "application/json", bytes.NewReader(body))
+	base = strings.TrimRight(base, "/")
+	resp, err := http.Post(base+"/v1/analyze", "application/json", bytes.NewReader(body))
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "cqual:", err)
+		fmt.Fprintln(stderr, "cqual:", err)
 		return 2
 	}
 	defer resp.Body.Close()
 	report, err := io.ReadAll(resp.Body)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "cqual:", err)
+		fmt.Fprintln(stderr, "cqual:", err)
 		return 2
 	}
+	traceID := resp.Header.Get("X-Trace-Id")
 	if resp.StatusCode != http.StatusOK {
-		fmt.Fprintf(os.Stderr, "cqual: %s: %s: %s", base, resp.Status, report)
+		fmt.Fprintf(stderr, "cqual: %s: %s: %s", base, resp.Status, report)
+		traceFooter(stderr, base, traceID)
 		return 2
 	}
-	os.Stdout.Write(report)
+	if opts.jsonOut {
+		stdout.Write(spliceTraceID(report, traceID))
+	} else {
+		stdout.Write(report)
+	}
 
 	// The report is the wire contract; derive the exit status from it
 	// rather than from a side channel.
@@ -460,17 +478,58 @@ func runRemote(base string, opts remoteOptions, paths []string) int {
 		} `json:"summary"`
 	}
 	if err := json.Unmarshal(report, &parsed); err != nil {
-		fmt.Fprintln(os.Stderr, "cqual: malformed report:", err)
+		fmt.Fprintln(stderr, "cqual: malformed report:", err)
 		return 2
+	}
+	// With -json the trace id is already in the report; for humans, a
+	// failing run gets a stderr pointer at the retained trace instead.
+	footer := func() {
+		if !opts.jsonOut {
+			traceFooter(stderr, base, traceID)
+		}
 	}
 	switch {
 	case parsed.Summary == nil:
+		footer()
 		return 2 // front-end failure: diagnostics only, no report
 	case parsed.Summary.Conflicts > 0:
+		footer()
 		return 1
 	default:
 		return 0
 	}
+}
+
+// spliceTraceID inserts the daemon's X-Trace-Id as a leading "trace_id"
+// member of the JSON report, preserving the two-space indentation the
+// daemon renders with. Reports that don't look like that rendering (or
+// an absent id) pass through untouched — the verbatim body is the wire
+// contract, and plain -serve output must stay byte-identical run to run.
+func spliceTraceID(report []byte, id string) []byte {
+	if id == "" || !bytes.HasPrefix(report, []byte("{\n")) {
+		return report
+	}
+	idJSON, err := json.Marshal(id)
+	if err != nil {
+		return report
+	}
+	var buf bytes.Buffer
+	buf.Grow(len(report) + len(idJSON) + 16)
+	buf.WriteString("{\n  \"trace_id\": ")
+	buf.Write(idJSON)
+	buf.WriteString(",\n")
+	buf.Write(report[len("{\n"):])
+	return buf.Bytes()
+}
+
+// traceFooter tells a human where the daemon's flight recorder kept (or
+// tail-retains) the trace of a failing run. Stderr only: stdout carries
+// the report verbatim.
+func traceFooter(stderr io.Writer, base, traceID string) {
+	if traceID == "" {
+		return
+	}
+	fmt.Fprintf(stderr, "cqual: trace retained by daemon: GET %s/v1/traces/%s\n", base, traceID)
 }
 
 // writeTrace exports the recorded spans as Chrome trace-event JSON.

@@ -11,6 +11,8 @@
 //	       [-summary-cache-entries n] [-summary-cache-bytes n]
 //	       [-session-entries n]
 //	       [-pprof] [-slow-request d] [-trace-entries n]
+//	       [-journal-entries n] [-retain-slowest n] [-retain-sample n]
+//	       [-slo endpoint=objective,...]
 //	cquald -watch DIR [-watch-interval d] [-jobs n] [-lang l]
 //	       [-poly] [-polyrec] [-simplify] [-uninit]
 //	       [-analysis LIST] [-prelude FILES]
@@ -21,12 +23,30 @@
 // function re-derive only that function's constraint fragment. /healthz
 // and /metrics serve liveness and counters; /metrics answers Prometheus
 // text exposition (with latency histograms) to Accept: text/plain or
-// ?format=prometheus. Every analyze response carries an X-Trace-Id;
-// POSTing with ?trace=1 records a Chrome trace of that request,
-// retrievable at /v1/traces/<id>. -pprof mounts the net/http/pprof
-// handlers under /debug/pprof/; -slow-request logs requests slower than
-// the threshold. SIGINT/SIGTERM drain in-flight requests before
-// exiting.
+// ?format=prometheus, and OpenMetrics 1.0 with trace-id exemplars to
+// Accept: application/openmetrics-text or ?format=openmetrics.
+//
+// Every analyze response carries an X-Trace-Id, and every request
+// records spans into the flight recorder: at request end a
+// tail-retention policy keeps the traces of slow, failed, shed,
+// delta-fallback, and 1-in-K sampled requests (?trace=1 forces
+// retention), retrievable at /v1/traces/<id> after the fact.
+// -trace-entries bounds the retention ring; -retain-slowest and
+// -retain-sample tune the policy. GET /v1/events serves the structured
+// event journal (session evictions, delta fallbacks with reason codes,
+// cache churn, slow requests; ?since=<seq> resumes, ?wait=1
+// long-polls), bounded by -journal-entries. GET /v1/introspect dumps
+// live state: retained sessions with their last solve/delta stats,
+// cache occupancy, worker depths, ring and journal stats, SLO burn
+// rates. -slo declares per-endpoint latency objectives
+// ("analyze=250ms,metrics=50ms"); burn-rate gauges over 5m/1h/6h
+// windows are computed at scrape time. The cqualtop command renders all
+// of this as a live dashboard.
+//
+// -pprof mounts the net/http/pprof handlers under /debug/pprof/;
+// -slow-request logs requests slower than the threshold (the records
+// also land in the event journal). SIGINT/SIGTERM drain in-flight
+// requests before exiting.
 //
 // Requests carrying a "session" id share a retained constraint-graph
 // session (bounded by -session-entries): successive versions of the
@@ -55,6 +75,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -76,7 +97,12 @@ func main() {
 	sessionEntries := flag.Int("session-entries", 0, "retained delta re-solve sessions (0 = 64)")
 	enablePprof := flag.Bool("pprof", false, "mount the net/http/pprof profiling handlers under /debug/pprof/")
 	slowRequest := flag.Duration("slow-request", 0, "log analyze requests at or above this latency (0 = disabled)")
-	traceEntries := flag.Int("trace-entries", 0, "retained ?trace=1 traces (0 = 32)")
+	traceEntries := flag.Int("trace-entries", 0, "flight-recorder retained-trace ring entries (0 = 32)")
+	journalEntries := flag.Int("journal-entries", 0, "structured event journal entries (0 = 1024)")
+	retainSlowest := flag.Int("retain-slowest", 0, "retain the first n traces per latency bucket, then only new bucket maxima (0 = 2, negative disables)")
+	retainSample := flag.Int("retain-sample", 0, "retain one trace in every n requests as a baseline sample (0 = 64, negative disables)")
+	sloFlag := flag.String("slo", "", `per-endpoint latency objectives as "endpoint=objective,..." (e.g. "analyze=250ms,metrics=50ms"; default analyze=250ms)`)
+	sloTarget := flag.Float64("slo-target", 0, "SLO success-fraction objective shared by all endpoints (0 = 0.99)")
 	watch := flag.String("watch", "", "watch this directory of source files instead of serving HTTP; re-analyze on change through a retained session")
 	watchInterval := flag.Duration("watch-interval", 500*time.Millisecond, "poll interval for -watch")
 	lang := flag.String("lang", "", "with -watch: source language of the watched files (c, go; default c)")
@@ -122,6 +148,16 @@ func main() {
 		}
 	}
 
+	slos, err := parseSLOs(*sloFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cquald: %v\n", err)
+		os.Exit(2)
+	}
+	if *sloTarget < 0 || *sloTarget >= 1 {
+		fmt.Fprintln(os.Stderr, "cquald: -slo-target must be in [0, 1)")
+		os.Exit(2)
+	}
+
 	srv := server.New(server.Config{
 		Jobs:           *jobs,
 		SolveJobs:      *solveJobs,
@@ -135,6 +171,11 @@ func main() {
 		EnablePprof:    *enablePprof,
 		SlowRequest:    *slowRequest,
 		TraceEntries:   *traceEntries,
+		JournalEntries: *journalEntries,
+		RetainSlowest:  *retainSlowest,
+		RetainSample:   *retainSample,
+		SLOs:           slos,
+		SLOTarget:      *sloTarget,
 	})
 
 	ln, err := net.Listen("tcp", *addr)
@@ -171,4 +212,29 @@ func main() {
 		os.Exit(1)
 	}
 	log.Printf("cquald: bye")
+}
+
+// parseSLOs parses the -slo flag: a comma-separated list of
+// endpoint=objective pairs ("analyze=250ms,metrics=50ms"). An empty
+// flag returns nil, leaving the server's default (analyze=250ms); a
+// present flag replaces the default outright, so "-slo ”" cannot be
+// used to disable it — pass an objective for no endpoint you care
+// about instead.
+func parseSLOs(s string) (map[string]time.Duration, error) {
+	if s == "" {
+		return nil, nil
+	}
+	slos := make(map[string]time.Duration)
+	for _, part := range strings.Split(s, ",") {
+		endpoint, obj, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || endpoint == "" {
+			return nil, fmt.Errorf("-slo: %q is not endpoint=objective", part)
+		}
+		d, err := time.ParseDuration(obj)
+		if err != nil || d <= 0 {
+			return nil, fmt.Errorf("-slo: bad objective in %q (want a positive duration like 250ms)", part)
+		}
+		slos[endpoint] = d
+	}
+	return slos, nil
 }

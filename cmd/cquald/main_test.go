@@ -1,0 +1,29 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+// TestParseSLOs pins the -slo flag grammar: comma-separated
+// endpoint=duration pairs, nil for an empty flag (server default), and
+// rejection of malformed or non-positive objectives.
+func TestParseSLOs(t *testing.T) {
+	if slos, err := parseSLOs(""); err != nil || slos != nil {
+		t.Errorf("empty flag: got %v, %v; want nil, nil", slos, err)
+	}
+
+	slos, err := parseSLOs("analyze=250ms, metrics=50ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(slos) != 2 || slos["analyze"] != 250*time.Millisecond || slos["metrics"] != 50*time.Millisecond {
+		t.Errorf("parsed %v, want analyze=250ms metrics=50ms", slos)
+	}
+
+	for _, bad := range []string{"analyze", "=250ms", "analyze=", "analyze=fast", "analyze=-1s", "analyze=0s", "analyze=250ms,,"} {
+		if _, err := parseSLOs(bad); err == nil {
+			t.Errorf("parseSLOs(%q) accepted, want error", bad)
+		}
+	}
+}

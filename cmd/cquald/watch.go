@@ -14,6 +14,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -25,6 +26,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/constinfer"
 	"repro/internal/driver"
+	"repro/internal/obs"
 )
 
 // watchOptions carries the cqual-style mode flags into watch mode.
@@ -103,10 +105,16 @@ func runWatchMode(dir string, interval time.Duration, opts watchOptions) int {
 	fmt.Printf("cquald: watching %s every %v (lang %s, mode %s)\n", dir, interval, fe.Lang(), cfg.Mode())
 	w := newWatcher(dir, cfg, os.Stdout)
 	w.exts = fe.Extensions()
+	// Watch mode serves no HTTP, so the journal's mirror is its only
+	// outlet: every re-analysis event becomes a structured slog line on
+	// stderr, keeping stdout reserved for the human report.
+	w.journal.SetMirror(slog.New(slog.NewTextHandler(os.Stderr, nil)))
 	if err := w.run(ctx, interval); err != nil {
 		fmt.Fprintln(os.Stderr, "cquald: watch:", err)
 		return 1
 	}
+	fmt.Printf("cquald: watch: %d poll(s), %d re-analysis(es), %d front-end failure(s)\n",
+		w.polls.Value(), w.reanalyses.Value(), w.feFailures.Value())
 	return 0
 }
 
@@ -119,7 +127,11 @@ type fileStamp struct {
 }
 
 // watcher polls one directory and feeds changed source sets through a
-// retained analysis session.
+// retained analysis session. It carries its own metrics registry and
+// event journal — watch mode serves no HTTP, so the journal's mirror
+// (structured slog lines on stderr in production) is how the events
+// get out, and the counters are read directly by tests and by the
+// shutdown summary.
 type watcher struct {
 	dir  string
 	sess *driver.Session
@@ -127,15 +139,30 @@ type watcher struct {
 	exts []string // source extensions claimed by the front end
 	seen map[string]fileStamp
 	runs int
+
+	reg        *obs.Registry
+	journal    *obs.Journal
+	polls      *obs.Counter // watch iterations (scan attempts)
+	reanalyses *obs.Counter // polls that ran the pipeline
+	feFailures *obs.Counter // runs the front end rejected
 }
 
 func newWatcher(dir string, cfg driver.Config, out io.Writer) *watcher {
+	reg := obs.NewRegistry()
 	return &watcher{
-		dir:  dir,
-		sess: driver.NewSession(cfg),
-		out:  out,
-		exts: []string{".c"},
-		seen: make(map[string]fileStamp),
+		dir:     dir,
+		sess:    driver.NewSession(cfg),
+		out:     out,
+		exts:    []string{".c"},
+		seen:    make(map[string]fileStamp),
+		reg:     reg,
+		journal: obs.NewJournal(0),
+		polls: reg.NewCounter("cquald_watch_polls_total",
+			"Watch-mode scan iterations, changed or not."),
+		reanalyses: reg.NewCounter("cquald_watch_reanalyses_total",
+			"Watch-mode analysis runs triggered by source changes."),
+		feFailures: reg.NewCounter("cquald_watch_frontend_failures_total",
+			"Watch-mode runs rejected by the front end (session state retained)."),
 	}
 }
 
@@ -205,6 +232,7 @@ func (w *watcher) scan() (paths []string, changed bool, err error) {
 // poll runs one scan-and-maybe-analyze step; it reports whether an
 // analysis ran.
 func (w *watcher) poll(ctx context.Context) (bool, error) {
+	w.polls.Inc()
 	paths, changed, err := w.scan()
 	if err != nil {
 		return false, err
@@ -217,6 +245,7 @@ func (w *watcher) poll(ctx context.Context) (bool, error) {
 		fmt.Fprintf(w.out, "watch: no %s files in %s\n", strings.Join(w.exts, "/"), w.dir)
 		return false, nil
 	}
+	w.reanalyses.Inc()
 	res, err := w.sess.RunDelta(ctx, driver.FileSources(paths...))
 	if err != nil {
 		return false, err
@@ -234,6 +263,10 @@ func (w *watcher) report(res *driver.Result, paths []string) {
 			fmt.Fprintln(w.out, "  "+strings.ReplaceAll(d.String(), "\n", "\n  "))
 		}
 		fmt.Fprintln(w.out, "  (front-end failure; session state retained)")
+		w.feFailures.Inc()
+		w.journal.Append("watch_run", "warn", "re-analysis rejected by front end",
+			"run", fmt.Sprint(w.runs), "files", fmt.Sprint(len(paths)),
+			"errors", fmt.Sprint(len(res.Errors())))
 		return
 	}
 	conflicts := 0
@@ -246,6 +279,9 @@ func (w *watcher) report(res *driver.Result, paths []string) {
 	fmt.Fprintf(w.out, "  %d function(s), %d constraint(s), %d conflict(s)\n",
 		res.Report.Functions, res.Report.Constraints, conflicts)
 	fmt.Fprintf(w.out, "  %s (solve %v)\n", deltaLine(res), res.Timings.Solve.Round(time.Microsecond))
+	w.journal.Append("watch_run", "info", "re-analysis complete",
+		"run", fmt.Sprint(w.runs), "files", fmt.Sprint(len(paths)),
+		"conflicts", fmt.Sprint(conflicts), "delta", deltaLine(res))
 }
 
 // deltaLine renders what the retained session did for one run.

@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -234,5 +235,68 @@ func TestWatcherFrontEndError(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "delta: hit") {
 		t.Fatalf("session lost across front-end error:\n%s", out.String())
+	}
+}
+
+// TestWatcherObservability pins the watch-mode flight-recorder hooks:
+// poll/re-analysis/front-end-failure counters count what actually
+// happened, and every re-analysis appends a journal event with its
+// outcome.
+func TestWatcherObservability(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "prog.c")
+	writeStamped(t, path, watchV1, 1)
+
+	var out strings.Builder
+	w := newWatcher(dir, driver.Config{Jobs: 1}, &out)
+	ctx := context.Background()
+
+	// Poll 1: cold solve. Poll 2: unchanged, no analysis. Poll 3: broken
+	// edit, front-end failure. Poll 4: fixed edit, delta hit.
+	if _, err := w.poll(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.poll(ctx); err != nil {
+		t.Fatal(err)
+	}
+	writeStamped(t, path, "void broken( {", 2)
+	if _, err := w.poll(ctx); err != nil {
+		t.Fatal(err)
+	}
+	writeStamped(t, path, watchV2, 3)
+	if _, err := w.poll(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := w.polls.Value(); got != 4 {
+		t.Errorf("polls = %d, want 4", got)
+	}
+	if got := w.reanalyses.Value(); got != 3 {
+		t.Errorf("reanalyses = %d, want 3 (unchanged poll must not count)", got)
+	}
+	if got := w.feFailures.Value(); got != 1 {
+		t.Errorf("front-end failures = %d, want 1", got)
+	}
+
+	events, _ := w.journal.Since(0, 0)
+	if len(events) != 3 {
+		t.Fatalf("journal has %d event(s), want 3 (one per re-analysis): %+v", len(events), events)
+	}
+	for i, e := range events {
+		if e.Type != "watch_run" {
+			t.Errorf("event %d type = %q, want watch_run", i, e.Type)
+		}
+		if e.Attrs["run"] != fmt.Sprint(i+1) {
+			t.Errorf("event %d run = %q, want %d", i, e.Attrs["run"], i+1)
+		}
+	}
+	if events[0].Level != "info" || !strings.Contains(events[0].Attrs["delta"], "cold solve") {
+		t.Errorf("cold-solve event wrong: %+v", events[0])
+	}
+	if events[1].Level != "warn" || events[1].Attrs["errors"] == "" {
+		t.Errorf("front-end-failure event wrong: %+v", events[1])
+	}
+	if !strings.Contains(events[2].Attrs["delta"], "delta: hit") {
+		t.Errorf("delta-hit event wrong: %+v", events[2])
 	}
 }

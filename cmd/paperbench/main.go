@@ -8,7 +8,8 @@
 //	paperbench [-table1] [-table2] [-figure6] [-simplify] [-polyrec]
 //	           [-delta-vars n] [-delta-rounds n]
 //	           [-go-self PATTERN] [-go-self-rounds n]
-//	           [-new-analyses] [-parallel] [-parallel-lines n] [-out FILE]
+//	           [-new-analyses] [-parallel] [-parallel-lines n]
+//	           [-obs] [-obs-requests n] [-obs-rounds n] [-out FILE]
 //
 // With no selection flags, everything is printed. -out additionally
 // writes the per-benchmark measurements as machine-readable JSON (the
@@ -27,6 +28,11 @@
 // once, then cold-solved at -solve-jobs 1/2/4/NumCPU (see
 // experiment.MeasureParallel). The block records the solve-time curve
 // and the solver's parallel-execution counters at each point.
+//
+// -obs measures what cquald's always-on flight recorder costs a
+// warm-path (cache-hit) request: two in-process servers, recording on
+// vs off, same repeated request, median latencies and their ratio (see
+// experiment.MeasureObs). The acceptance bound is overhead ≤ 5%.
 package main
 
 import (
@@ -145,6 +151,21 @@ type parallelPointJSON struct {
 	Speedup         float64 `json:"speedup_vs_sequential"`
 }
 
+// obsJSON is the -obs block of the -out schema: the flight recorder's
+// warm-path overhead, measured by A/B-ing two in-process servers (see
+// experiment.MeasureObs). Overhead is (on/off)-1; the acceptance bound
+// for always-on recording is ≤ 0.05.
+type obsJSON struct {
+	Requests  int     `json:"requests"`
+	Rounds    int     `json:"rounds"`
+	WarmOnUS  float64 `json:"warm_on_us"`
+	WarmOffUS float64 `json:"warm_off_us"`
+	Overhead  float64 `json:"overhead"`
+	Retained  int     `json:"retained_traces"`
+	Events    int     `json:"journal_events"`
+	Memory    memJSON `json:"memory"`
+}
+
 // parallelJSON is the -parallel block of the -out schema: cold solves
 // of one large generated corpus at increasing solver worker counts.
 type parallelJSON struct {
@@ -169,6 +190,7 @@ type benchFile struct {
 	GoSelf      *goSelfJSON       `json:"go_self,omitempty"`
 	NewAnalyses []newAnalysisJSON `json:"new_analyses,omitempty"`
 	Parallel    *parallelJSON     `json:"parallel,omitempty"`
+	Obs         *obsJSON          `json:"obs,omitempty"`
 }
 
 func main() {
@@ -187,6 +209,9 @@ func main() {
 	parallelLines := flag.Int("parallel-lines", 1_000_000, "parallel benchmark corpus size in generated lines")
 	parallelRounds := flag.Int("parallel-rounds", 3, "parallel benchmark measurement rounds per worker count (median reported)")
 	parallelSeed := flag.Int64("parallel-seed", 2001, "parallel benchmark corpus generation seed")
+	obsBench := flag.Bool("obs", false, "also measure the flight recorder's warm-path overhead (always-on recording vs a disabled baseline)")
+	obsRequests := flag.Int("obs-requests", 200, "warm-path requests timed per round in the -obs block")
+	obsRounds := flag.Int("obs-rounds", 5, "rounds per arm in the -obs block (median of per-round medians reported)")
 	out := flag.String("out", "", "also write the measurements as JSON to this file (e.g. BENCH_5.json)")
 	flag.Parse()
 
@@ -324,6 +349,27 @@ func main() {
 				pt.Jobs, pt.Solve.Seconds()*1000, speedup,
 				pt.Stats.Workers, pt.Stats.ParallelClasses, pt.Stats.CCRegions, pt.Stats.SweepLevels, pt.Stats.SweepFallbacks)
 		}
+	}
+
+	if *obsBench {
+		var o experiment.ObsResult
+		mem := measureMem(func() { o, err = experiment.MeasureObs(*obsRequests, *obsRounds) })
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "paperbench:", err)
+			os.Exit(1)
+		}
+		f.Obs = &obsJSON{
+			Requests:  o.Requests,
+			Rounds:    o.Rounds,
+			WarmOnUS:  float64(o.WarmOn.Microseconds()),
+			WarmOffUS: float64(o.WarmOff.Microseconds()),
+			Overhead:  o.Overhead(),
+			Retained:  o.Retained,
+			Events:    o.Events,
+			Memory:    mem,
+		}
+		fmt.Printf("Flight-recorder overhead (warm path, %d req × %d rounds/arm): on %.1fµs, off %.1fµs, overhead %+.2f%% (%d trace(s) resident, %d journal event(s))\n",
+			o.Requests, o.Rounds, f.Obs.WarmOnUS, f.Obs.WarmOffUS, f.Obs.Overhead*100, o.Retained, o.Events)
 	}
 
 	if *out != "" {

@@ -46,6 +46,10 @@ type lru[K comparable, V any] struct {
 	hits       atomic.Uint64
 	misses     atomic.Uint64
 	evictions  atomic.Uint64
+	// onEvict, when set, observes every evicted key. It fires after the
+	// map mutex is released so an observer (journal append, metrics) can
+	// never deadlock back into the cache.
+	onEvict func(key K)
 }
 
 func newLRU[K comparable, V any](maxEntries int, maxBytes int64) *lru[K, V] {
@@ -89,7 +93,7 @@ func (l *lru[K, V]) get(k K) (V, bool) {
 // the cache silently useless for that key.
 func (l *lru[K, V]) put(k K, v V, cost int64) {
 	l.mu.Lock()
-	defer l.mu.Unlock()
+	var evicted []K
 	if e, ok := l.items[k]; ok {
 		l.bytes.Add(cost - e.cost)
 		e.val, e.cost = v, cost
@@ -111,6 +115,14 @@ func (l *lru[K, V]) put(k K, v V, cost int64) {
 		l.bytes.Add(-cold.cost)
 		l.entries.Add(-1)
 		l.evictions.Add(1)
+		if l.onEvict != nil {
+			evicted = append(evicted, cold.key)
+		}
+	}
+	hook := l.onEvict
+	l.mu.Unlock()
+	for _, key := range evicted {
+		hook(key)
 	}
 }
 

@@ -63,6 +63,11 @@ func NewResultCache(maxEntries int, maxBytes int64) *ResultCache {
 	return &ResultCache{lru: newLRU[Key, []byte](maxEntries, maxBytes)}
 }
 
+// OnEvict registers a hook observing every evicted request key. The
+// hook fires outside the cache lock. Register once, at startup, before
+// traffic.
+func (c *ResultCache) OnEvict(fn func(k Key)) { c.lru.onEvict = fn }
+
 // Get returns the stored report for the key. The returned slice is
 // shared and must not be modified.
 func (c *ResultCache) Get(k Key) ([]byte, bool) { return c.lru.get(k) }

@@ -46,6 +46,11 @@ func NewSessionStore(maxEntries int) *SessionStore {
 	return &SessionStore{lru: newLRU[string, *driver.Session](maxEntries, 0)}
 }
 
+// OnEvict registers a hook observing every evicted session key. The
+// hook fires outside the store lock. Register once, at startup, before
+// traffic.
+func (c *SessionStore) OnEvict(fn func(key string)) { c.lru.onEvict = fn }
+
 // GetOrCreate returns the session for the key, creating it with mk under
 // the store lock when absent — two racing requests for a new corpus get
 // the same session, never one each. The boolean reports whether the
@@ -53,11 +58,11 @@ func NewSessionStore(maxEntries int) *SessionStore {
 func (c *SessionStore) GetOrCreate(key string, mk func() *driver.Session) (*driver.Session, bool) {
 	l := c.lru
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	if e, ok := l.items[key]; ok {
 		l.hits.Add(1)
 		l.unlink(e)
 		l.pushFront(e)
+		l.mu.Unlock()
 		return e.val, true
 	}
 	l.misses.Add(1)
@@ -67,6 +72,7 @@ func (c *SessionStore) GetOrCreate(key string, mk func() *driver.Session) (*driv
 	l.pushFront(e)
 	l.bytes.Add(1)
 	l.entries.Add(1)
+	var evicted []string
 	for len(l.items) > 1 && l.maxEntries > 0 && len(l.items) > l.maxEntries {
 		cold := l.root.prev
 		l.unlink(cold)
@@ -74,8 +80,37 @@ func (c *SessionStore) GetOrCreate(key string, mk func() *driver.Session) (*driv
 		l.bytes.Add(-cold.cost)
 		l.entries.Add(-1)
 		l.evictions.Add(1)
+		if l.onEvict != nil {
+			evicted = append(evicted, cold.key)
+		}
+	}
+	hook := l.onEvict
+	l.mu.Unlock()
+	for _, key := range evicted {
+		hook(key)
 	}
 	return sess, false
+}
+
+// SessionEntry is one retained session as seen by Entries.
+type SessionEntry struct {
+	Key     string
+	Session *driver.Session
+}
+
+// Entries lists the retained sessions, most recently used first — the
+// /v1/introspect view. The listing copies key and pointer under the
+// store lock; callers read session state through the sessions' own
+// lock-free snapshots.
+func (c *SessionStore) Entries() []SessionEntry {
+	l := c.lru
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]SessionEntry, 0, len(l.items))
+	for e := l.root.next; e != &l.root; e = e.next {
+		out = append(out, SessionEntry{Key: e.key, Session: e.val})
+	}
+	return out
 }
 
 // Stats snapshots the store counters. Bytes counts entries (a session's

@@ -19,6 +19,7 @@ package driver
 import (
 	"context"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/constraint"
 )
@@ -34,6 +35,30 @@ type Session struct {
 
 	mu sync.Mutex
 	ss *constraint.Session // created on first RunDelta, once the suite exists
+
+	// snap is the latest SessionSnapshot, maintained at the end of each
+	// RunDelta. It is read lock-free by introspection (/v1/introspect):
+	// RunDelta holds mu for the whole pipeline run, so any reader that
+	// took the lock would stall behind an in-flight analysis.
+	snap atomic.Pointer[SessionSnapshot]
+}
+
+// SessionSnapshot is the lock-free introspection view of a session:
+// what its last completed run did. Fields are value copies — safe to
+// serialize while the next run is in flight.
+type SessionSnapshot struct {
+	// Runs counts completed RunDelta calls, including failed ones.
+	Runs uint64 `json:"runs"`
+	// Sources is the number of sources in the last run.
+	Sources int `json:"sources"`
+	// Diagnostics is the last run's diagnostic count.
+	Diagnostics int `json:"diagnostics"`
+	// Solver is the last run's solve statistics.
+	Solver constraint.SolveStats `json:"solver"`
+	// Delta describes what the retained state did for the last solve.
+	Delta constraint.DeltaStats `json:"delta"`
+	// Err is the last run's pipeline error, if any.
+	Err string `json:"err,omitempty"`
 }
 
 // NewSession creates a retained analysis session for the config. The
@@ -56,8 +81,29 @@ func (s *Session) Config() Config { return s.cfg }
 func (s *Session) RunDelta(ctx context.Context, sources []Source) (*Result, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return runPipeline(ctx, s.cfg, sources, s)
+	res, err := runPipeline(ctx, s.cfg, sources, s)
+	snap := SessionSnapshot{Sources: len(sources)}
+	if prev := s.snap.Load(); prev != nil {
+		snap.Runs = prev.Runs
+	}
+	snap.Runs++
+	if err != nil {
+		snap.Err = err.Error()
+	}
+	if res != nil {
+		snap.Diagnostics = len(res.Diagnostics)
+		snap.Solver = res.Solver
+		if res.Delta != nil {
+			snap.Delta = *res.Delta
+		}
+	}
+	s.snap.Store(&snap)
+	return res, err
 }
+
+// Snapshot returns the last completed run's introspection view without
+// taking the session lock; nil before the first RunDelta completes.
+func (s *Session) Snapshot() *SessionSnapshot { return s.snap.Load() }
 
 // Delta reports what the session's last solve did; the zero value
 // before any solve has happened.

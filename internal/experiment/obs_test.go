@@ -1,0 +1,30 @@
+package experiment
+
+import "testing"
+
+// TestMeasureObs runs the overhead A/B at smoke size: both arms must
+// produce latencies, the recording arm must actually have recorded
+// (resident traces, journal traffic), and the ratio must be finite.
+// The ≤5% acceptance bound is checked by the benchmark run, not here —
+// a CI machine under load can't hold a tight latency bound.
+func TestMeasureObs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spins two HTTP servers")
+	}
+	res, err := MeasureObs(8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WarmOn <= 0 || res.WarmOff <= 0 {
+		t.Fatalf("non-positive medians: on=%v off=%v", res.WarmOn, res.WarmOff)
+	}
+	if res.Retained == 0 {
+		t.Error("recording arm retained no traces; the 1-in-K sample alone should retain the first request")
+	}
+	if res.Events < 0 {
+		t.Errorf("events = %d", res.Events)
+	}
+	if o := res.Overhead(); o < -1 || o > 10 {
+		t.Errorf("overhead ratio %v implausible (medians on=%v off=%v)", o, res.WarmOn, res.WarmOff)
+	}
+}

@@ -1,0 +1,343 @@
+package obs
+
+// Unit tests for the flight-recorder building blocks: the tail-retention
+// ring, the event journal and its slog bridges, the SLO burn-rate
+// tracker, OpenMetrics rendering with exemplars, and /metrics content
+// negotiation.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"log/slog"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// --- Recorder -------------------------------------------------------
+
+func TestRecorderDecideReasons(t *testing.T) {
+	r := NewRecorder(RetainPolicy{SlowestPerBucket: -1, SampleEvery: -1})
+	cases := []struct {
+		s    Sample
+		want []string
+	}{
+		{Sample{Forced: true}, []string{"forced"}},
+		{Sample{Err: true}, []string{"error"}},
+		{Sample{Shed: true}, []string{"shed"}},
+		{Sample{Fallback: true}, []string{"fallback"}},
+		{Sample{Err: true, Fallback: true}, []string{"error", "fallback"}},
+		{Sample{}, nil},
+	}
+	for _, c := range cases {
+		retain, reasons := r.Decide(c.s)
+		if retain != (len(c.want) > 0) {
+			t.Errorf("Decide(%+v) retain = %v, want %v", c.s, retain, len(c.want) > 0)
+		}
+		if fmt.Sprint(reasons) != fmt.Sprint(c.want) {
+			t.Errorf("Decide(%+v) reasons = %v, want %v", c.s, reasons, c.want)
+		}
+	}
+}
+
+func TestRecorderSlowPolicy(t *testing.T) {
+	// Two admissions per bucket, then only new bucket maxima.
+	r := NewRecorder(RetainPolicy{SlowestPerBucket: 2, SampleEvery: -1, Buckets: []float64{0.1, 1}})
+	decide := func(sec float64) bool {
+		ok, _ := r.Decide(Sample{Seconds: sec})
+		return ok
+	}
+	if !decide(0.05) || !decide(0.06) {
+		t.Fatal("first two in bucket should be retained")
+	}
+	if decide(0.04) {
+		t.Fatal("below-max third entry should not be retained")
+	}
+	if !decide(0.07) {
+		t.Fatal("new bucket maximum should be retained")
+	}
+	if decide(0.07) {
+		t.Fatal("equal-to-max entry should not be retained")
+	}
+	// A different bucket has its own budget.
+	if !decide(0.5) {
+		t.Fatal("first entry of second bucket should be retained")
+	}
+}
+
+func TestRecorderSampleEvery(t *testing.T) {
+	r := NewRecorder(RetainPolicy{SlowestPerBucket: -1, SampleEvery: 4})
+	var got []int
+	for i := 1; i <= 9; i++ {
+		if ok, reasons := r.Decide(Sample{}); ok {
+			if len(reasons) != 1 || reasons[0] != "sample" {
+				t.Fatalf("request %d: reasons = %v", i, reasons)
+			}
+			got = append(got, i)
+		}
+	}
+	// The first request is always sampled, then every 4th after it.
+	if fmt.Sprint(got) != fmt.Sprint([]int{1, 5, 9}) {
+		t.Fatalf("sampled ordinals = %v, want [1 5 9]", got)
+	}
+}
+
+func TestRecorderRingEvictionAndReconcile(t *testing.T) {
+	r := NewRecorder(RetainPolicy{RingEntries: 4})
+	for i := 0; i < 10; i++ {
+		r.Put(fmt.Sprintf("t%02d", i), []byte("x"), 0.001, []string{"sample"})
+	}
+	st := r.Stats()
+	if st.Admitted != 10 || st.Resident != 4 || st.Evicted != 6 {
+		t.Fatalf("stats = %+v, want admitted 10 = resident 4 + evicted 6", st)
+	}
+	if _, ok := r.Get("t09"); !ok {
+		t.Fatal("newest entry missing")
+	}
+	if _, ok := r.Get("t03"); ok {
+		t.Fatal("evicted entry still retrievable")
+	}
+	infos := r.Retained()
+	if len(infos) != 4 || infos[0].ID != "t09" || infos[3].ID != "t06" {
+		t.Fatalf("Retained() = %+v, want t09..t06 newest first", infos)
+	}
+}
+
+func TestRecorderConcurrentReconcile(t *testing.T) {
+	r := NewRecorder(RetainPolicy{RingEntries: 8})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				id := fmt.Sprintf("g%d-%03d", g, i)
+				r.Put(id, []byte(id), 0.001, []string{"sample"})
+				r.Get(id)
+				r.Stats()
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := r.Stats()
+	if st.Admitted != 400 {
+		t.Fatalf("admitted = %d, want 400", st.Admitted)
+	}
+	if st.Admitted != uint64(st.Resident)+st.Evicted {
+		t.Fatalf("admitted %d != resident %d + evicted %d", st.Admitted, st.Resident, st.Evicted)
+	}
+}
+
+// --- Journal --------------------------------------------------------
+
+func TestJournalSinceAndDrop(t *testing.T) {
+	j := NewJournal(3)
+	j.SetClock(func() time.Time { return time.UnixMilli(42) })
+	for i := 1; i <= 5; i++ {
+		seq := j.Append("cache_evict", "info", fmt.Sprintf("evict %d", i), "key", fmt.Sprint(i))
+		if seq != uint64(i) {
+			t.Fatalf("Append seq = %d, want %d", seq, i)
+		}
+	}
+	evs, next := j.Since(0, 0)
+	if len(evs) != 3 || evs[0].Seq != 3 || evs[2].Seq != 5 {
+		t.Fatalf("Since(0) = %+v, want seqs 3..5", evs)
+	}
+	if next != 5 {
+		t.Fatalf("next = %d, want 5", next)
+	}
+	if evs[0].TimeMS != 42 || evs[0].Attrs["key"] != "3" {
+		t.Fatalf("event fields wrong: %+v", evs[0])
+	}
+	if evs2, next2 := j.Since(5, 0); evs2 != nil || next2 != 5 {
+		t.Fatalf("Since(5) = %v, %d, want nil, 5", evs2, next2)
+	}
+	st := j.Stats()
+	if st.NextSeq != 6 || st.Entries != 3 || st.Dropped != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestJournalWaitLongPoll(t *testing.T) {
+	j := NewJournal(8)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	done := make(chan bool, 1)
+	go func() { done <- j.Wait(ctx, 0) }()
+	time.Sleep(10 * time.Millisecond)
+	j.Append("watch_reanalyze", "info", "dir changed")
+	if !<-done {
+		t.Fatal("Wait returned false with a new event available")
+	}
+	// Expired context with nothing new returns false.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel2()
+	if j.Wait(ctx2, 1) {
+		t.Fatal("Wait returned true with no new events")
+	}
+}
+
+func TestJournalSlogBridges(t *testing.T) {
+	j := NewJournal(8)
+	var buf bytes.Buffer
+	raw := slog.New(slog.NewTextHandler(&buf, nil))
+	j.SetMirror(raw)
+
+	// Append mirrors to slog.
+	j.Append("session_evict", "warn", "session evicted", "key", "abc")
+	if out := buf.String(); !strings.Contains(out, "session evicted") || !strings.Contains(out, "event=session_evict") {
+		t.Fatalf("mirror output missing event: %q", out)
+	}
+
+	// slog through JournalHandler lands in the journal and the inner
+	// handler, and does NOT re-mirror (no loop).
+	before := buf.Len()
+	wrapped := slog.New(NewJournalHandler(j, slog.NewTextHandler(&buf, nil)))
+	wrapped.Warn("slow request", "trace", "t01")
+	evs, _ := j.Since(1, 0)
+	if len(evs) != 1 || evs[0].Type != "log" || evs[0].Level != "warn" || evs[0].Attrs["trace"] != "t01" {
+		t.Fatalf("journal fan-in event wrong: %+v", evs)
+	}
+	inner := buf.String()[before:]
+	if !strings.Contains(inner, "slow request") {
+		t.Fatalf("inner handler not forwarded: %q", inner)
+	}
+	if strings.Count(inner, "slow request") != 1 {
+		t.Fatalf("handler record mirrored back (loop): %q", inner)
+	}
+
+	// WithAttrs attrs reach the journal.
+	slog.New(NewJournalHandler(j, nil)).With("shard", "2").Info("hello")
+	evs, _ = j.Since(2, 0)
+	if len(evs) != 1 || evs[0].Attrs["shard"] != "2" {
+		t.Fatalf("WithAttrs attrs missing: %+v", evs)
+	}
+}
+
+// --- SLO ------------------------------------------------------------
+
+func TestSLOBurnRate(t *testing.T) {
+	tr := NewSLOTracker("analyze", 250*time.Millisecond, 0.99)
+	now := time.Unix(1_000_000, 0)
+	tr.SetClock(func() time.Time { return now })
+
+	// 98 good, 1 slow, 1 failed: 2% bad against a 1% budget → burn 2.
+	for i := 0; i < 98; i++ {
+		tr.Observe(0.01, false)
+	}
+	tr.Observe(0.5, false)
+	tr.Observe(0.01, true)
+
+	good, bad := tr.Totals(5 * time.Minute)
+	if good != 98 || bad != 2 {
+		t.Fatalf("totals = %d good, %d bad", good, bad)
+	}
+	if br := tr.BurnRate(5 * time.Minute); br < 1.99 || br > 2.01 {
+		t.Fatalf("burn rate = %v, want 2", br)
+	}
+
+	// Advance past the 5m window: short window empties, 6h still sees it.
+	now = now.Add(6 * time.Minute)
+	if br := tr.BurnRate(5 * time.Minute); br != 0 {
+		t.Fatalf("5m burn after idle = %v, want 0", br)
+	}
+	if br := tr.BurnRate(6 * time.Hour); br < 1.99 || br > 2.01 {
+		t.Fatalf("6h burn = %v, want 2", br)
+	}
+}
+
+func TestSLOZeroTrafficAndDefaults(t *testing.T) {
+	tr := NewSLOTracker("analyze", 100*time.Millisecond, 0)
+	if tr.Target() != DefSLOTarget {
+		t.Fatalf("default target = %v", tr.Target())
+	}
+	if br := tr.BurnRate(time.Hour); br != 0 {
+		t.Fatalf("zero-traffic burn = %v, want 0", br)
+	}
+	if WindowLabel(5*time.Minute) != "5m" || WindowLabel(time.Hour) != "1h" || WindowLabel(6*time.Hour) != "6h" {
+		t.Fatal("WindowLabel rendering wrong")
+	}
+}
+
+// --- OpenMetrics + exemplars ---------------------------------------
+
+func TestOpenMetricsRendering(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("cquald_requests_total", "Requests.")
+	c.Add(7)
+	g := r.NewGauge("cquald_in_flight", "In flight.")
+	g.Set(2)
+	h := r.NewHistogram("cquald_request_seconds", "Latency.", []float64{0.1, 1})
+	h.ObserveExemplar(0.05, "trace-aa")
+	h.Observe(0.06) // no trace id: exemplar keeps trace-aa
+	h.ObserveExemplar(0.5, "trace-bb")
+
+	var b strings.Builder
+	if err := r.WriteOpenMetrics(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE cquald_requests counter\n", // family name drops _total
+		"cquald_requests_total 7\n",        // sample keeps it
+		"# TYPE cquald_in_flight gauge\n",
+		`cquald_request_seconds_bucket{le="0.1"} 2 # {trace_id="trace-aa"} 0.05` + "\n",
+		`cquald_request_seconds_bucket{le="1"} 3 # {trace_id="trace-bb"} 0.5` + "\n",
+		`cquald_request_seconds_bucket{le="+Inf"} 3` + "\n",
+		"cquald_request_seconds_count 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("OpenMetrics output missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.HasSuffix(out, "# EOF\n") {
+		t.Fatalf("missing # EOF terminator:\n%s", out)
+	}
+	if strings.Contains(out, "# HELP cquald_requests_total") {
+		t.Fatalf("counter HELP kept _total suffix:\n%s", out)
+	}
+
+	// The Prometheus rendering is unaffected by exemplars.
+	prom := render(t, r)
+	if strings.Contains(prom, "trace_id") || strings.Contains(prom, "# EOF") {
+		t.Fatalf("Prometheus rendering leaked OpenMetrics syntax:\n%s", prom)
+	}
+}
+
+// --- Negotiation ----------------------------------------------------
+
+func TestNegotiateMetricsFormat(t *testing.T) {
+	cases := []struct {
+		accept, want string
+	}{
+		{"", FormatJSON},                 // absent header
+		{"*/*", FormatJSON},              // browser wildcard
+		{"text/plain;q=0", FormatJSON},   // everything excluded
+		{"text/plain", FormatPrometheus}, // classic scraper
+		{"text/plain; version=0.0.4", FormatPrometheus},
+		{"application/json", FormatJSON},
+		{"application/openmetrics-text", FormatOpenMetrics},
+		// Prometheus 2.x scrape header: OpenMetrics preferred by q.
+		{"application/openmetrics-text;version=1.0.0;q=0.75,text/plain;version=0.0.4;q=0.5,*/*;q=0.1", FormatOpenMetrics},
+		// Equal q ties break toward the richer exposition.
+		{"application/openmetrics-text,text/plain", FormatOpenMetrics},
+		{"text/plain,application/json", FormatPrometheus},
+		// Wildcard with higher q than an excluded specific type.
+		{"text/plain;q=0,*/*;q=0.5", FormatJSON},
+		// Browsers: html first, wildcard fallback → JSON.
+		{"text/html,application/xhtml+xml,*/*;q=0.8", FormatJSON},
+		// Unknown types only → JSON fallback.
+		{"application/xml", FormatJSON},
+		// Malformed q excludes the entry.
+		{"text/plain;q=banana", FormatJSON},
+		// Case-insensitive media types.
+		{"TEXT/PLAIN", FormatPrometheus},
+	}
+	for _, c := range cases {
+		if got := NegotiateMetricsFormat(c.accept); got != c.want {
+			t.Errorf("NegotiateMetricsFormat(%q) = %q, want %q", c.accept, got, c.want)
+		}
+	}
+}

@@ -63,13 +63,23 @@ var DefLatencyBuckets = []float64{
 	.0005, .001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10,
 }
 
+// Exemplar links a histogram bucket to a retained trace: the last
+// observation that landed in the bucket with a trace id attached. The
+// OpenMetrics renderer attaches it to the bucket line so a dashboard
+// can jump from a latency bucket straight to /v1/traces/<id>.
+type Exemplar struct {
+	TraceID string
+	Value   float64
+}
+
 // Histogram is a fixed-bucket latency histogram with cumulative
 // Prometheus semantics. Observations and reads are lock-free.
 type Histogram struct {
-	bounds  []float64 // upper bounds; the +Inf bucket is implicit
-	buckets []atomic.Uint64
-	count   atomic.Uint64
-	sumBits atomic.Uint64 // float64 bits, CAS-accumulated
+	bounds    []float64 // upper bounds; the +Inf bucket is implicit
+	buckets   []atomic.Uint64
+	count     atomic.Uint64
+	sumBits   atomic.Uint64 // float64 bits, CAS-accumulated
+	exemplars []atomic.Pointer[Exemplar]
 }
 
 // Observe records one value (typically seconds).
@@ -84,6 +94,17 @@ func (h *Histogram) Observe(v float64) {
 			return
 		}
 	}
+}
+
+// ObserveExemplar records one value and, when traceID is non-empty,
+// attaches it as the bucket's exemplar (last writer wins).
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	h.Observe(v)
+	if traceID == "" {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.exemplars[i].Store(&Exemplar{TraceID: traceID, Value: v})
 }
 
 // Count returns the number of observations.
@@ -185,8 +206,9 @@ func (r *Registry) NewHistogram(name, help string, bounds []float64, labels ...L
 	}
 	s := r.register(name, help, kindHistogram, labels)
 	s.hist = &Histogram{
-		bounds:  bounds,
-		buckets: make([]atomic.Uint64, len(bounds)+1),
+		bounds:    bounds,
+		buckets:   make([]atomic.Uint64, len(bounds)+1),
+		exemplars: make([]atomic.Pointer[Exemplar], len(bounds)+1),
 	}
 	return s.hist
 }
@@ -237,20 +259,26 @@ func formatFloat(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
+// snapshot copies the family list under the registration lock so a
+// render never races a (startup-time) registration.
+func (r *Registry) snapshot() []*family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fams := make([]*family, len(r.names))
+	for i, n := range r.names {
+		f := r.families[n]
+		ser := append([]*series(nil), f.series...)
+		fams[i] = &family{name: f.name, help: f.help, kind: f.kind, series: ser}
+	}
+	return fams
+}
+
 // WritePrometheus renders every registered metric in Prometheus text
 // exposition format (version 0.0.4). Families appear in registration
 // order; series within a family are sorted by label set, so the output
 // is deterministic. The render itself takes no metric locks.
 func (r *Registry) WritePrometheus(w io.Writer) error {
-	r.mu.Lock()
-	names := append([]string(nil), r.names...)
-	fams := make([]*family, len(names))
-	for i, n := range names {
-		f := r.families[n]
-		ser := append([]*series(nil), f.series...)
-		fams[i] = &family{name: f.name, help: f.help, kind: f.kind, series: ser}
-	}
-	r.mu.Unlock()
+	fams := r.snapshot()
 
 	var b strings.Builder
 	for _, f := range fams {

@@ -102,9 +102,9 @@ func TestMetricsPreregisterAnalyses(t *testing.T) {
 }
 
 // TestRequestTracing checks the per-request trace path: every analyze
-// response carries an X-Trace-Id, and ?trace=1 retains a Chrome trace
-// retrievable at /v1/traces/<id> while leaving the report body
-// byte-identical to an untraced request.
+// response carries an X-Trace-Id, ?trace=1 forces retention of a Chrome
+// trace retrievable at /v1/traces/<id>, and the flight recorder's
+// always-on recording leaves the report body byte-identical.
 func TestRequestTracing(t *testing.T) {
 	ts := httptest.NewServer(New(Config{}))
 	defer ts.Close()
@@ -153,14 +153,28 @@ func TestRequestTracing(t *testing.T) {
 		}
 	}
 
-	// A trace for the first (untraced) request was never retained.
+	// The first request never passed ?trace=1, but the flight recorder's
+	// tail-retention policy keeps it anyway (it is the first request of
+	// its latency bucket and the 1-in-K sample): its trace is
+	// retrievable after the fact. This is the recorder's whole point —
+	// see TestFlightRecorderRetainsWithoutOptIn for the full contract.
 	nresp, err := http.Get(ts.URL + "/v1/traces/" + r1.Header.Get("X-Trace-Id"))
 	if err != nil {
 		t.Fatal(err)
 	}
 	nresp.Body.Close()
-	if nresp.StatusCode != http.StatusNotFound {
-		t.Errorf("untraced id served status %d, want 404", nresp.StatusCode)
+	if nresp.StatusCode != http.StatusOK {
+		t.Errorf("tail-retained id served status %d, want 200", nresp.StatusCode)
+	}
+
+	// An id the server never issued 404s.
+	nresp2, err := http.Get(ts.URL + "/v1/traces/no-such-id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nresp2.Body.Close()
+	if nresp2.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown id served status %d, want 404", nresp2.StatusCode)
 	}
 
 	// Tracing never leaks into the report body: re-POST the first batch

@@ -11,23 +11,39 @@
 //	POST /v1/analyze  — analyze a batch of sources; the response body is
 //	                    byte-identical to cqual -json over the same
 //	                    inputs, X-Cache reports hit or miss, X-Trace-Id
-//	                    identifies the request; ?trace=1 additionally
-//	                    records a Chrome trace retrievable afterwards at
-//	                    /v1/traces/<id>
+//	                    identifies the request. Every request records
+//	                    spans into the flight recorder; at request end a
+//	                    tail-retention policy decides whether the trace
+//	                    is kept (slow, failed, shed, delta-fallback, and
+//	                    sampled requests are; ?trace=1 forces it)
 //	GET  /healthz     — liveness probe
 //	GET  /metrics     — JSON counters by default: requests, cache stats,
 //	                    per-stage timing aggregates, per-analysis request
-//	                    and diagnostic counts. With Accept: text/plain or
-//	                    ?format=prometheus, Prometheus text exposition
-//	                    including latency histograms
-//	GET  /v1/traces/<id> — the Chrome trace-event JSON of a recent
-//	                    request that opted in with ?trace=1
+//	                    and diagnostic counts. Accept: text/plain (or
+//	                    ?format=prometheus) selects Prometheus text with
+//	                    the latency histograms; Accept:
+//	                    application/openmetrics-text (or
+//	                    ?format=openmetrics) selects OpenMetrics 1.0 with
+//	                    trace-id exemplars on histogram buckets
+//	GET  /v1/traces/<id> — the Chrome trace-event JSON of a retained
+//	                    request (tail-retained or ?trace=1-forced)
+//	GET  /v1/events   — the structured event journal: session evictions,
+//	                    delta fallbacks, cache churn, slow requests.
+//	                    ?since=<seq> resumes after a known event;
+//	                    ?wait=1 long-polls until something newer arrives
+//	GET  /v1/introspect — live server state: retained sessions with
+//	                    their last solve/delta stats, cache occupancy,
+//	                    worker/queue depths, retention ring and journal
+//	                    stats, SLO burn rates
 //	/debug/pprof/     — net/http/pprof profiling handlers, mounted only
 //	                    when Config.EnablePprof is set
 //
 // The metrics scrape path is lock-free: every counter the handler reads
 // is an atomic (or an obs.Registry series, which is atomics underneath),
 // so a scraper polling /metrics never contends with in-flight analyses.
+// The flight recorder keeps that property: retention decisions and ring
+// reads are atomics too (see obs.Recorder); only the event journal takes
+// a mutex, and only for service-level events, never per constraint.
 //
 // A concurrency limiter bounds simultaneous analyses so N clients share
 // the constraint-generation worker pool instead of oversubscribing it;
@@ -47,8 +63,8 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"runtime"
+	"strconv"
 	"strings"
-	"sync"
 	"sync/atomic"
 	"time"
 
@@ -94,11 +110,34 @@ type Config struct {
 	// SlowRequest is the latency threshold at or above which a completed
 	// analyze request is logged through Logger (0 = disabled).
 	SlowRequest time.Duration
-	// Logger receives slow-request records (nil = slog.Default()).
+	// Logger receives slow-request records (nil = slog.Default()). The
+	// server additionally routes these records into the event journal.
 	Logger *slog.Logger
-	// TraceEntries bounds the ring of retained ?trace=1 traces
+	// TraceEntries bounds the flight recorder's retained-trace ring
 	// (0 = 32).
 	TraceEntries int
+	// JournalEntries bounds the structured event journal (0 = 1024).
+	JournalEntries int
+	// RetainSlowest is the flight recorder's per-latency-bucket slow
+	// admission count (0 = 2; negative disables the slow policy).
+	RetainSlowest int
+	// RetainSample keeps one request in every RetainSample as a baseline
+	// trace sample (0 = 64; negative disables sampling).
+	RetainSample int
+	// SLOs declares per-endpoint latency objectives for burn-rate
+	// tracking, keyed by endpoint name ("analyze", "metrics", ...); nil
+	// selects {"analyze": 250ms}. An explicitly empty non-nil map
+	// declares no SLOs.
+	SLOs map[string]time.Duration
+	// SLOTarget is the success-fraction objective shared by all declared
+	// SLOs (0 = 0.99).
+	SLOTarget float64
+	// DisableRecorder turns the always-on flight recorder off for this
+	// server: no span recording, no tail retention, no exemplars. It
+	// exists solely as the baseline arm of the paperbench -obs overhead
+	// measurement (recording on vs off); production servers leave it
+	// false and there is no flag for it.
+	DisableRecorder bool
 }
 
 // DefaultRequestTimeout is the per-request deadline when none is
@@ -159,9 +198,24 @@ type Server struct {
 	// handlers read and bump it without a lock.
 	perAnalysis map[string]*analysisCounters
 
+	// endpoints is the per-endpoint RED instrumentation (requests,
+	// errors, duration, optional SLO tracker), fully populated at New.
+	endpoints map[string]*endpointMetrics
+
 	reg      *obs.Registry
 	traceSeq atomic.Uint64
-	traces   *traceRing
+	recorder *obs.Recorder
+	journal  *obs.Journal
+	retained *obs.Counter // traces admitted to the retention ring
+}
+
+// endpointMetrics is one endpoint's RED slice: rate, errors, duration,
+// plus the SLO tracker when an objective is declared for it.
+type endpointMetrics struct {
+	requests *obs.Counter
+	errors   *obs.Counter
+	hist     *obs.Histogram
+	slo      *obs.SLOTracker
 }
 
 // analysisCounters tracks load per registered qualifier analysis.
@@ -196,10 +250,18 @@ func New(cfg Config) *Server {
 	if cfg.TraceEntries == 0 {
 		cfg.TraceEntries = 32
 	}
-	logger := cfg.Logger
-	if logger == nil {
-		logger = slog.Default()
+	if cfg.SLOs == nil {
+		cfg.SLOs = map[string]time.Duration{"analyze": 250 * time.Millisecond}
 	}
+	rawLogger := cfg.Logger
+	if rawLogger == nil {
+		rawLogger = slog.Default()
+	}
+	journal := obs.NewJournal(cfg.JournalEntries)
+	// Journal events mirror to the raw logger; slog records (the
+	// slow-request log) fan into the journal through the handler bridge.
+	// The two bridges are loop-safe: see obs.Journal.
+	journal.SetMirror(rawLogger)
 	s := &Server{
 		cfg:         cfg,
 		results:     cache.NewResultCache(cfg.ResultEntries, cfg.ResultBytes),
@@ -208,16 +270,32 @@ func New(cfg Config) *Server {
 		sem:         make(chan struct{}, cfg.MaxConcurrent),
 		mux:         http.NewServeMux(),
 		start:       time.Now(),
-		logger:      logger,
+		logger:      slog.New(obs.NewJournalHandler(journal, rawLogger.Handler())),
 		perAnalysis: make(map[string]*analysisCounters),
+		endpoints:   make(map[string]*endpointMetrics),
 		reg:         obs.NewRegistry(),
-		traces:      newTraceRing(cfg.TraceEntries),
+		journal:     journal,
+		recorder: obs.NewRecorder(obs.RetainPolicy{
+			RingEntries:      cfg.TraceEntries,
+			SlowestPerBucket: cfg.RetainSlowest,
+			SampleEvery:      cfg.RetainSample,
+		}),
 	}
+	s.sessions.OnEvict(func(key string) {
+		s.journal.Append("session_evict", "warn", "delta session evicted; next request pays a cold solve",
+			"key", shortKey(key))
+	})
+	s.results.OnEvict(func(k cache.Key) {
+		s.journal.Append("cache_evict", "info", "result-cache entry evicted",
+			"cache", "result", "key", fmt.Sprintf("%x", k[:6]))
+	})
 	s.registerMetrics()
-	s.mux.HandleFunc("/v1/analyze", s.handleAnalyze)
-	s.mux.HandleFunc("/v1/traces/", s.handleTrace)
+	s.mux.HandleFunc("/v1/analyze", s.instrument("analyze", s.handleAnalyze))
+	s.mux.HandleFunc("/v1/traces/", s.instrument("traces", s.handleTrace))
+	s.mux.HandleFunc("/v1/events", s.instrument("events", s.handleEvents))
+	s.mux.HandleFunc("/v1/introspect", s.instrument("introspect", s.handleIntrospect))
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
-	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/metrics", s.instrument("metrics", s.handleMetrics))
 	if cfg.EnablePprof {
 		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -296,6 +374,112 @@ func (s *Server) registerMetrics() {
 				"Analyze requests selecting the analysis.", obs.L("analysis", name)),
 			diagnostics: r.NewCounter("cquald_analysis_diagnostics_total",
 				"Diagnostics the analysis produced across completed runs.", obs.L("analysis", name)),
+		}
+	}
+
+	// Per-endpoint RED series, plus SLO burn-rate gauges for endpoints
+	// with declared objectives. Burn rates are computed at scrape time
+	// from the trackers' atomic slot rings.
+	for _, ep := range endpointNames {
+		em := &endpointMetrics{
+			requests: r.NewCounter("cquald_endpoint_requests_total",
+				"Requests received, by endpoint.", obs.L("endpoint", ep)),
+			errors: r.NewCounter("cquald_endpoint_errors_total",
+				"Requests answered with status >= 400, by endpoint.", obs.L("endpoint", ep)),
+			hist: r.NewHistogram("cquald_endpoint_seconds",
+				"End-to-end request latency, by endpoint.", nil, obs.L("endpoint", ep)),
+		}
+		if obj, ok := s.cfg.SLOs[ep]; ok {
+			em.slo = obs.NewSLOTracker(ep, obj, s.cfg.SLOTarget)
+			tr := em.slo
+			r.NewGaugeFunc("cquald_slo_objective_seconds",
+				"Declared latency objective, by endpoint.",
+				tr.Objective, obs.L("endpoint", ep))
+			r.NewGaugeFunc("cquald_slo_target",
+				"Declared success-fraction objective, by endpoint.",
+				tr.Target, obs.L("endpoint", ep))
+			for _, w := range obs.BurnWindows {
+				w := w
+				r.NewGaugeFunc("cquald_slo_burn_rate",
+					"Error-budget burn rate over the trailing window (1.0 = budget spent exactly at the sustainable pace).",
+					func() float64 { return tr.BurnRate(w) },
+					obs.L("endpoint", ep), obs.L("window", obs.WindowLabel(w)))
+			}
+		}
+		s.endpoints[ep] = em
+	}
+
+	// Flight-recorder retention counters.
+	s.retained = r.NewCounter("cquald_traces_retained_total",
+		"Traces admitted to the retention ring.")
+	r.NewGaugeFunc("cquald_traces_resident", "Traces resident in the retention ring.",
+		func() float64 { return float64(s.recorder.Stats().Resident) })
+	r.NewGaugeFunc("cquald_traces_evicted", "Traces evicted from the retention ring.",
+		func() float64 { return float64(s.recorder.Stats().Evicted) })
+	for _, reason := range obs.RetainReasons {
+		reason := reason
+		r.NewGaugeFunc("cquald_trace_retention_decisions",
+			"Retention policy matches, by reason (a request may match several).",
+			func() float64 { return float64(s.recorder.Stats().ByReason[reason]) },
+			obs.L("reason", reason))
+	}
+	r.NewGaugeFunc("cquald_journal_events", "Events currently retained in the journal.",
+		func() float64 { return float64(s.journal.Stats().Entries) })
+	r.NewGaugeFunc("cquald_journal_dropped", "Events that have fallen off the journal ring.",
+		func() float64 { return float64(s.journal.Stats().Dropped) })
+}
+
+// endpointNames enumerates the instrumented endpoints, in registration
+// order.
+var endpointNames = []string{"analyze", "metrics", "traces", "events", "introspect"}
+
+// shortKey abbreviates a session key for journal events.
+func shortKey(key string) string {
+	if len(key) > 12 {
+		return key[:12]
+	}
+	return key
+}
+
+// statusWriter captures the response status for RED accounting and the
+// retention decision. A handler that never calls WriteHeader answered
+// 200.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) status() int {
+	if w.code == 0 {
+		return http.StatusOK
+	}
+	return w.code
+}
+
+// instrument wraps a handler with the endpoint's RED accounting and SLO
+// classification.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	em := s.endpoints[endpoint]
+	return func(w http.ResponseWriter, r *http.Request) {
+		began := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		h(sw, r)
+		dur := time.Since(began).Seconds()
+		failed := sw.status() >= 400
+		em.requests.Inc()
+		if failed {
+			em.errors.Inc()
+		}
+		em.hist.Observe(dur)
+		if em.slo != nil {
+			em.slo.Observe(dur, failed)
 		}
 	}
 }
@@ -386,20 +570,18 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// ?trace=1 opts this request into span recording; the exported
-	// Chrome trace is retained in a bounded ring, retrievable at
-	// /v1/traces/<id>. The response body stays byte-identical to an
-	// untraced request — only the header and the ring change.
+	// The flight recorder is always on: every request records spans, and
+	// at request end the tail-retention policy decides whether the
+	// exported Chrome trace is kept at /v1/traces/<id> — slow, failed,
+	// shed, delta-fallback, and 1-in-K sampled requests are; ?trace=1
+	// forces it. The response body stays byte-identical to the
+	// pre-recorder contract — only the header and the ring change.
 	var tracer *obs.Tracer
-	if r.URL.Query().Get("trace") == "1" {
+	if !s.cfg.DisableRecorder {
 		tracer = obs.NewTracer(nil)
-		defer func() {
-			var buf bytes.Buffer
-			if tracer.WriteJSON(&buf) == nil {
-				s.traces.put(traceID, buf.Bytes())
-			}
-		}()
 	}
+	fin := &finishState{forced: r.URL.Query().Get("trace") == "1"}
+	defer s.finishAnalyze(w, r, tracer, traceID, fin, began)
 
 	var req AnalyzeRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20))
@@ -485,11 +667,12 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 			func() *driver.Session { return driver.NewSession(cfg) })
 	}
 
+	fin.sources = len(sources)
 	key := cache.RequestKey(cfg, sources)
 	if sess == nil {
 		if report, ok := s.results.Get(key); ok {
 			s.writeReport(w, report, "hit")
-			s.finishRequest(r, traceID, "hit", len(sources), began)
+			fin.cacheState = "hit"
 			return
 		}
 	}
@@ -539,20 +722,23 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	s.countDiagnostics(res.Diagnostics)
 	s.recordTimings(res.Timings, res.Solver)
 	if sess != nil {
-		s.recordDelta(res.Delta)
+		s.recordDelta(traceID, res.Delta)
+		fin.fallback = res.Delta != nil && !res.Delta.Applied
 		s.writeReport(w, report, "session")
-		s.finishRequest(r, traceID, "session", len(sources), began)
+		fin.cacheState = "session"
 		return
 	}
 	s.results.Put(key, report)
 	s.writeReport(w, report, "miss")
-	s.finishRequest(r, traceID, "miss", len(sources), began)
+	fin.cacheState = "miss"
 }
 
 // recordDelta aggregates one session solve's delta outcome. A nil stats
 // pointer means the run failed before the solver (front-end errors);
-// those runs move no delta counter.
-func (s *Server) recordDelta(d *constraint.DeltaStats) {
+// those runs move no delta counter. Fallbacks land in the event journal
+// with their reason code — they are exactly the "why was this request
+// suddenly slow" moments an operator greps for.
+func (s *Server) recordDelta(traceID string, d *constraint.DeltaStats) {
 	if d == nil {
 		return
 	}
@@ -562,21 +748,62 @@ func (s *Server) recordDelta(d *constraint.DeltaStats) {
 		s.deltaDirty.Observe(float64(d.DirtyVars))
 	} else {
 		s.deltaFallbacks.Inc()
+		s.journal.Append("delta_fallback", "info", "session solve fell back cold",
+			"reason", d.Fallback, "trace_id", traceID)
 	}
 }
 
-// finishRequest observes the end-to-end latency histogram and emits the
-// slow-request log line when the configured threshold is met.
-func (s *Server) finishRequest(r *http.Request, traceID, cacheState string, sources int, began time.Time) {
+// finishState carries what handleAnalyze learned about the request into
+// the deferred finishAnalyze: whether tracing was forced, whether the
+// delta path fell back, and the cache outcome (empty on failed
+// requests, which never reach a report).
+type finishState struct {
+	forced     bool
+	fallback   bool
+	cacheState string
+	sources    int
+}
+
+// finishAnalyze is the flight recorder's tail: it runs after the
+// response is written, decides trace retention now that latency and
+// outcome are known, observes the latency histogram (attaching the
+// trace id as the bucket exemplar when the trace was retained), and
+// emits the slow-request log line when the configured threshold is met.
+func (s *Server) finishAnalyze(w http.ResponseWriter, r *http.Request, tracer *obs.Tracer, traceID string, fin *finishState, began time.Time) {
 	dur := time.Since(began)
-	s.reqHist[cacheState].Observe(dur.Seconds())
+	status := http.StatusOK
+	if sw, ok := w.(*statusWriter); ok {
+		status = sw.status()
+	}
+	shed := status == http.StatusTooManyRequests || status == http.StatusGatewayTimeout
+	exemplar := ""
+	if tracer != nil { // nil only under Config.DisableRecorder (bench baseline)
+		retain, reasons := s.recorder.Decide(obs.Sample{
+			Seconds:  dur.Seconds(),
+			Err:      status >= 400 && !shed,
+			Shed:     shed,
+			Fallback: fin.fallback,
+			Forced:   fin.forced,
+		})
+		if retain {
+			var buf bytes.Buffer
+			if tracer.WriteJSON(&buf) == nil {
+				s.recorder.Put(traceID, buf.Bytes(), dur.Seconds(), reasons)
+				s.retained.Inc()
+				exemplar = traceID
+			}
+		}
+	}
+	if fin.cacheState != "" {
+		s.reqHist[fin.cacheState].ObserveExemplar(dur.Seconds(), exemplar)
+	}
 	if s.cfg.SlowRequest > 0 && dur >= s.cfg.SlowRequest {
 		s.logger.Warn("slow analyze request",
 			"trace_id", traceID,
 			"duration_ms", float64(dur.Microseconds())/1000,
 			"threshold_ms", float64(s.cfg.SlowRequest.Microseconds())/1000,
-			"cache", cacheState,
-			"sources", sources,
+			"cache", fin.cacheState,
+			"sources", fin.sources,
 			"remote", r.RemoteAddr)
 	}
 }
@@ -633,16 +860,182 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "ok")
 }
 
-// handleTrace serves a retained ?trace=1 trace by id.
+// handleTrace serves a tail-retained (or ?trace=1-forced) trace by id.
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	id := strings.TrimPrefix(r.URL.Path, "/v1/traces/")
-	data, ok := s.traces.get(id)
+	data, ok := s.recorder.Get(id)
 	if !ok {
-		s.fail(w, http.StatusNotFound, "no retained trace %q (traces are recorded for ?trace=1 requests and bounded to the most recent %d)", id, s.cfg.TraceEntries)
+		s.fail(w, http.StatusNotFound, "no retained trace %q (the flight recorder retains slow, failed, shed, fallback, sampled, and ?trace=1 requests, bounded to the most recent %d)", id, s.cfg.TraceEntries)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.Write(data)
+}
+
+// EventsResponse is the GET /v1/events response shape.
+type EventsResponse struct {
+	// Events are the journal entries newer than ?since, oldest first.
+	Events []obs.Event `json:"events"`
+	// Next is the sequence number to pass as the next ?since.
+	Next uint64 `json:"next"`
+	// Dropped counts events that have fallen off the journal ring; a
+	// client whose since is older than the ring sees a gap.
+	Dropped uint64 `json:"dropped"`
+}
+
+// maxEventWait bounds a ?wait=1 long poll so intermediaries never see
+// an unbounded request.
+const maxEventWait = 25 * time.Second
+
+// handleEvents serves the structured event journal. ?since=<seq>
+// resumes after a known event; ?max=<n> bounds the batch; ?wait=1
+// long-polls until an event newer than since exists (bounded by
+// maxEventWait — an empty batch on timeout is the keep-alive).
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	since, err := parseUint(q.Get("since"))
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "invalid since: %v", err)
+		return
+	}
+	max := 0
+	if v := q.Get("max"); v != "" {
+		m, err := parseUint(v)
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, "invalid max: %v", err)
+			return
+		}
+		max = int(m)
+	}
+	if q.Get("wait") == "1" {
+		ctx, cancel := context.WithTimeout(r.Context(), maxEventWait)
+		defer cancel()
+		s.journal.Wait(ctx, since)
+	}
+	events, next := s.journal.Since(since, max)
+	if events == nil {
+		events = []obs.Event{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(EventsResponse{Events: events, Next: next, Dropped: s.journal.Stats().Dropped})
+}
+
+func parseUint(v string) (uint64, error) {
+	if v == "" {
+		return 0, nil
+	}
+	return strconv.ParseUint(v, 10, 64)
+}
+
+// Introspection is the GET /v1/introspect response shape: the live
+// server state an operator (or cqualtop) reads at a glance.
+type Introspection struct {
+	UptimeMS  float64             `json:"uptime_ms"`
+	Workers   WorkerIntrospect    `json:"workers"`
+	Caches    CacheIntrospect     `json:"caches"`
+	Sessions  []SessionIntrospect `json:"sessions"`
+	Retention RetentionIntrospect `json:"retention"`
+	Journal   obs.JournalStats    `json:"journal"`
+	SLOs      []SLOIntrospect     `json:"slos"`
+}
+
+// WorkerIntrospect reports concurrency-limiter state.
+type WorkerIntrospect struct {
+	// InFlight is the number of analyze requests currently being served
+	// (including those queued on the limiter).
+	InFlight int64 `json:"in_flight"`
+	// Running is the number of limiter slots currently held.
+	Running int `json:"running"`
+	// MaxConcurrent is the limiter capacity.
+	MaxConcurrent int `json:"max_concurrent"`
+	// Jobs/SolveJobs are the server's per-analysis pool bounds.
+	Jobs      int `json:"jobs"`
+	SolveJobs int `json:"solve_jobs"`
+}
+
+// CacheIntrospect groups the three cache stat blocks.
+type CacheIntrospect struct {
+	Result  cache.Stats `json:"result"`
+	Summary cache.Stats `json:"summary"`
+	Session cache.Stats `json:"session"`
+}
+
+// SessionIntrospect is one retained delta session: its (abbreviated)
+// key and the lock-free snapshot of its last completed run.
+type SessionIntrospect struct {
+	Key string `json:"key"`
+	// Last is nil for a session created but never run.
+	Last *driver.SessionSnapshot `json:"last,omitempty"`
+}
+
+// RetentionIntrospect is the flight recorder's ring state.
+type RetentionIntrospect struct {
+	obs.RecorderStats
+	// Traces lists the resident ring entries, newest first.
+	Traces []obs.RetainedInfo `json:"traces"`
+}
+
+// SLOIntrospect is one declared SLO with its current burn rates.
+type SLOIntrospect struct {
+	Endpoint    string  `json:"endpoint"`
+	ObjectiveMS float64 `json:"objective_ms"`
+	Target      float64 `json:"target"`
+	// Burn maps window label ("5m") to the current burn rate.
+	Burn map[string]float64 `json:"burn"`
+}
+
+// handleIntrospect dumps live server state as JSON. Every read is an
+// atomic load or a short-lived cache-lock copy; an in-flight analysis
+// is never blocked by an introspection poll (session state comes from
+// lock-free snapshots, not the sessions' run locks).
+func (s *Server) handleIntrospect(w http.ResponseWriter, r *http.Request) {
+	entries := s.sessions.Entries()
+	sess := make([]SessionIntrospect, len(entries))
+	for i, e := range entries {
+		sess[i] = SessionIntrospect{Key: shortKey(e.Key), Last: e.Session.Snapshot()}
+	}
+	slos := make([]SLOIntrospect, 0, len(s.cfg.SLOs))
+	for _, ep := range endpointNames {
+		em := s.endpoints[ep]
+		if em.slo == nil {
+			continue
+		}
+		burn := make(map[string]float64, len(obs.BurnWindows))
+		for _, win := range obs.BurnWindows {
+			burn[obs.WindowLabel(win)] = em.slo.BurnRate(win)
+		}
+		slos = append(slos, SLOIntrospect{
+			Endpoint:    ep,
+			ObjectiveMS: em.slo.Objective() * 1000,
+			Target:      em.slo.Target(),
+			Burn:        burn,
+		})
+	}
+	out := Introspection{
+		UptimeMS: time.Since(s.start).Seconds() * 1000,
+		Workers: WorkerIntrospect{
+			InFlight:      s.inFlight.Load(),
+			Running:       len(s.sem),
+			MaxConcurrent: s.cfg.MaxConcurrent,
+			Jobs:          s.cfg.Jobs,
+			SolveJobs:     s.cfg.SolveJobs,
+		},
+		Caches: CacheIntrospect{
+			Result:  s.results.Stats(),
+			Summary: s.summaries.Stats(),
+			Session: s.sessions.Stats(),
+		},
+		Sessions:  sess,
+		Retention: RetentionIntrospect{RecorderStats: s.recorder.Stats(), Traces: s.recorder.Retained()},
+		Journal:   s.journal.Stats(),
+		SLOs:      slos,
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(out)
 }
 
 // Metrics is the GET /metrics response shape.
@@ -779,54 +1172,30 @@ func (s *Server) Snapshot() Metrics {
 }
 
 // handleMetrics renders the counters. The default JSON shape is the
-// service's original contract and is unchanged; Prometheus text
-// exposition (with the latency histograms, which JSON does not carry)
-// is selected by Accept: text/plain or ?format=prometheus.
+// service's original contract and is unchanged; the two text
+// expositions (with the latency histograms, which JSON does not carry)
+// are selected by content negotiation — Accept: text/plain for
+// Prometheus 0.0.4, Accept: application/openmetrics-text for
+// OpenMetrics 1.0 with trace-id exemplars — or explicitly with
+// ?format=prometheus / ?format=openmetrics / ?format=json, which wins
+// over the header. Wildcard, absent, and everything-excluded Accept
+// headers deterministically select JSON (see obs.NegotiateMetricsFormat).
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	format := r.URL.Query().Get("format")
-	if format == "prometheus" ||
-		(format == "" && strings.Contains(r.Header.Get("Accept"), "text/plain")) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if format == "" {
+		format = obs.NegotiateMetricsFormat(r.Header.Get("Accept"))
+	}
+	switch format {
+	case obs.FormatPrometheus:
+		w.Header().Set("Content-Type", obs.ContentTypePrometheus)
 		s.reg.WritePrometheus(w)
-		return
+	case obs.FormatOpenMetrics:
+		w.Header().Set("Content-Type", obs.ContentTypeOpenMetrics)
+		s.reg.WriteOpenMetrics(w)
+	default:
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(s.Snapshot())
 	}
-	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	enc.Encode(s.Snapshot())
-}
-
-// traceRing retains the most recent ?trace=1 exports. Only traced
-// requests touch it, so its mutex never contends with the scrape path.
-type traceRing struct {
-	mu      sync.Mutex
-	entries []traceEntry
-	next    int
-}
-
-type traceEntry struct {
-	id   string
-	data []byte
-}
-
-func newTraceRing(n int) *traceRing {
-	return &traceRing{entries: make([]traceEntry, n)}
-}
-
-func (tr *traceRing) put(id string, data []byte) {
-	tr.mu.Lock()
-	defer tr.mu.Unlock()
-	tr.entries[tr.next] = traceEntry{id: id, data: data}
-	tr.next = (tr.next + 1) % len(tr.entries)
-}
-
-func (tr *traceRing) get(id string) ([]byte, bool) {
-	tr.mu.Lock()
-	defer tr.mu.Unlock()
-	for _, e := range tr.entries {
-		if e.id == id {
-			return e.data, true
-		}
-	}
-	return nil, false
 }
